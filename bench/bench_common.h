@@ -1,0 +1,112 @@
+// Shared fixtures for the figure-reproduction benches.
+//
+// Scale: every bench honors FGPDB_BENCH_SCALE (default 1.0) so the suite
+// finishes in minutes on one core by default but can be pushed toward the
+// paper's 10M-tuple runs (e.g. FGPDB_BENCH_SCALE=10). See EXPERIMENTS.md
+// for the mapping between default sizes and the paper's.
+#ifndef FGPDB_BENCH_BENCH_COMMON_H_
+#define FGPDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "ie/corpus.h"
+#include "ie/ner_proposal.h"
+#include "ie/queries.h"
+#include "ie/skip_chain_model.h"
+#include "ie/token_pdb.h"
+#include "pdb/query_evaluator.h"
+#include "sql/binder.h"
+#include "util/stopwatch.h"
+
+namespace fgpdb {
+namespace bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("FGPDB_BENCH_SCALE");
+  if (env == nullptr || *env == '\0') return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+/// A ready-to-sample NER probabilistic database: corpus, TOKEN relation,
+/// skip-chain CRF with corpus-statistics weights (standing in for the
+/// SampleRank-trained weights so benches skip training time — §5.2 puts
+/// training at minutes, orthogonal to query-evaluation cost).
+struct NerBench {
+  ie::TokenPdb tokens;
+  std::unique_ptr<ie::SkipChainNerModel> model;
+
+  explicit NerBench(size_t num_tokens, uint64_t seed = 2004) {
+    ie::SyntheticCorpus corpus = ie::GenerateCorpus(
+        {.num_tokens = num_tokens, .tokens_per_doc = 250, .seed = seed});
+    tokens = ie::BuildTokenPdb(corpus);
+    model = std::make_unique<ie::SkipChainNerModel>(tokens);
+    model->InitializeFromCorpusStatistics(tokens);
+    tokens.pdb->set_model(model.get());
+  }
+
+  std::unique_ptr<ie::DocumentBatchProposal> MakeProposal(
+      size_t proposals_per_batch = 2000) const {
+    return std::make_unique<ie::DocumentBatchProposal>(
+        &tokens.docs,
+        ie::NerProposalOptions{.proposals_per_batch = proposals_per_batch});
+  }
+};
+
+/// Walk-steps needed to mix away from the all-'O' initialization. The §5.1
+/// kernel proposes a uniform label on a uniform batch variable, so a
+/// mislabeled token gets its correct label proposed with probability ~1/9
+/// per visit; reaching stationarity needs a few dozen passes over the
+/// corpus. ~40 proposals per token is comfortably past the transient.
+inline uint64_t DefaultBurnIn(size_t num_tokens) {
+  return static_cast<uint64_t>(40) * num_tokens;
+}
+
+/// Estimates the ground-truth answer by a long materialized run on a clone
+/// (the paper estimates truth the same way: a much longer sampling run).
+inline pdb::QueryAnswer EstimateGroundTruth(const NerBench& bench,
+                                            const std::string& query,
+                                            uint64_t samples,
+                                            uint64_t steps_per_sample,
+                                            uint64_t seed = 314159) {
+  auto world = bench.tokens.pdb->Clone();
+  ra::PlanPtr plan = sql::PlanQuery(query, world->db());
+  auto proposal = bench.MakeProposal();
+  pdb::MaterializedQueryEvaluator evaluator(
+      world.get(), proposal.get(), plan.get(),
+      {.steps_per_sample = steps_per_sample,
+       .burn_in = DefaultBurnIn(bench.tokens.num_tokens()),
+       .seed = seed});
+  evaluator.Run(samples);
+  return evaluator.answer();
+}
+
+/// Runs `evaluator` until its answer halves the squared error of the first
+/// (single-sample) approximation against `truth` — the paper's Fig. 4(a)
+/// "query evaluation time" metric. Returns elapsed seconds; gives up after
+/// `max_samples` (returns the elapsed time, flagging *converged=false).
+inline double TimeToHalfError(pdb::QueryEvaluator& evaluator,
+                              const pdb::QueryAnswer& truth,
+                              uint64_t max_samples, bool* converged) {
+  Stopwatch timer;
+  evaluator.Initialize();
+  evaluator.DrawSample();
+  const double initial_error = evaluator.answer().SquaredError(truth);
+  const double target = initial_error / 2.0;
+  *converged = false;
+  for (uint64_t i = 1; i < max_samples; ++i) {
+    evaluator.DrawSample();
+    if (evaluator.answer().SquaredError(truth) <= target) {
+      *converged = true;
+      break;
+    }
+  }
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace bench
+}  // namespace fgpdb
+
+#endif  // FGPDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,99 @@
+// Figure 5: parallelizing query evaluation — squared error after a fixed
+// per-chain sample budget, for 1…8 parallel MCMC chains, against the ideal
+// linear (error/B) line.
+//
+// Paper: eight copies of a 10M-tuple world, 100 samples per chain, ground
+// truth from 8 chains x 10k samples; observes ~linear and sometimes
+// super-linear error reduction (cross-chain samples are more independent).
+// Here: scaled world (default 50k tuples), same protocol.
+#include <iostream>
+
+#include "bench_common.h"
+#include "pdb/parallel_evaluator.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace fgpdb;
+using namespace fgpdb::bench;
+
+int main() {
+  const size_t n = static_cast<size_t>(50000 * BenchScale());
+  const uint64_t k = std::max<uint64_t>(100, n / 100);
+
+  std::cout << "=== Figure 5: parallelizing query evaluation ("
+            << HumanCount(static_cast<double>(n)) << " tuples) ===\n"
+            << "query: " << ie::kQuery1 << "\n\n";
+  NerBench bench(n);
+
+  // The paper copies an existing 10M-tuple world eight times; the copies
+  // start at the chain's current state, not at the all-'O' initialization.
+  // Mirror that: burn the base world to stationarity once, then clone.
+  // Without this, every chain shares the same transient *bias* and
+  // averaging cannot reduce it — the Fig. 5 effect is variance reduction.
+  {
+    auto proposal = bench.MakeProposal();
+    auto sampler = bench.tokens.pdb->MakeSampler(proposal.get(), 271828);
+    sampler->Run(DefaultBurnIn(n));
+    bench.tokens.pdb->DiscardDeltas();
+  }
+
+  pdb::ProposalFactory factory = [&](pdb::ProbabilisticDatabase&) {
+    return std::unique_ptr<infer::Proposal>(bench.MakeProposal().release());
+  };
+
+  // Ground truth: eight chains of 1500 samples each — mirroring the paper's
+  // 8 x 10k protocol. The truth's own sampling noise must sit far below the
+  // per-chain error being measured, or it becomes the visible floor.
+  std::cerr << "[fig5] estimating ground truth (8 x 1500 samples)...\n";
+  ra::PlanPtr truth_plan = sql::PlanQuery(ie::kQuery1, bench.tokens.pdb->db());
+  pdb::ParallelOptions truth_options;
+  truth_options.num_chains = 8;
+  truth_options.samples_per_chain = 1500;
+  truth_options.chain_options = {.steps_per_sample = k,
+                                 .burn_in = DefaultBurnIn(n),
+                                 .seed = 314159};
+  const pdb::QueryAnswer truth = pdb::EvaluateParallel(
+      *bench.tokens.pdb, *truth_plan, factory, truth_options);
+
+  TablePrinter table({"chains", "squared error", "ideal (err1/B)",
+                      "improvement", "samples total"});
+  double err1 = 0.0;
+  // Average each branch count over a few seeds to smooth chain noise.
+  const int kRepeats = 2;
+  for (size_t chains = 1; chains <= 8; ++chains) {
+    double err = 0.0;
+    uint64_t total_samples = 0;
+    for (int r = 0; r < kRepeats; ++r) {
+      pdb::ParallelOptions options;
+      options.num_chains = chains;
+      options.samples_per_chain = 100;
+      // Full per-chain burn-in: each copy must forget the shared clone
+      // before samples count, otherwise all chains carry the same bias and
+      // averaging cannot reduce it.
+      options.chain_options = {.steps_per_sample = k,
+                               .burn_in = DefaultBurnIn(n),
+                               .seed = 1000 + static_cast<uint64_t>(r) * 71};
+      options.use_threads = true;
+      const pdb::QueryAnswer answer =
+          pdb::EvaluateParallel(*bench.tokens.pdb,
+                                *sql::PlanQuery(ie::kQuery1,
+                                                bench.tokens.pdb->db()),
+                                factory, options);
+      err += answer.SquaredError(truth);
+      total_samples = answer.num_samples();
+    }
+    err /= kRepeats;
+    if (chains == 1) err1 = err;
+    table.AddRow({std::to_string(chains), FormatDouble(err, 5),
+                  FormatDouble(err1 / static_cast<double>(chains), 5),
+                  FormatDouble(err1 / err, 3), std::to_string(total_samples)});
+    std::cerr << "[fig5] finished chains=" << chains << "\n";
+  }
+  table.Print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.PrintCsv(std::cout);
+  std::cout << "\nPaper shape check: error falls roughly linearly in the "
+               "number of chains (improvement ~= B, occasionally better — "
+               "cross-chain samples are more independent).\n";
+  return 0;
+}

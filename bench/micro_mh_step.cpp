@@ -1,0 +1,67 @@
+// Microbench for the §3.4 / Appendix 9.2 claim: the cost of one MH
+// walk-step is constant with respect to the database size, because only the
+// factors touching the proposed change are evaluated.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "infer/metropolis_hastings.h"
+
+using namespace fgpdb;
+using namespace fgpdb::bench;
+
+namespace {
+
+void BM_MhStep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  NerBench bench(n);
+  auto proposal = bench.MakeProposal();
+  auto sampler = bench.tokens.pdb->MakeSampler(proposal.get(), 17);
+  // Warm the proposal's document batch.
+  sampler->Run(100);
+  for (auto _ : state) {
+    sampler->Step();
+  }
+  state.SetLabel(std::to_string(n) + " tuples");
+  // Drain the accumulated deltas so memory stays bounded.
+  bench.tokens.pdb->DiscardDeltas();
+}
+
+void BM_MhStepLinearChain(benchmark::State& state) {
+  // Ablation: without skip edges the per-step factor count is smaller.
+  const size_t n = static_cast<size_t>(state.range(0));
+  ie::SyntheticCorpus corpus = ie::GenerateCorpus({.num_tokens = n});
+  ie::TokenPdb tokens = ie::BuildTokenPdb(corpus);
+  ie::SkipChainNerModel model(tokens, {.use_skip_edges = false});
+  model.InitializeFromCorpusStatistics(tokens);
+  tokens.pdb->set_model(&model);
+  ie::DocumentBatchProposal proposal(&tokens.docs);
+  auto sampler = tokens.pdb->MakeSampler(&proposal, 19);
+  sampler->Run(100);
+  for (auto _ : state) {
+    sampler->Step();
+  }
+  tokens.pdb->DiscardDeltas();
+}
+
+void BM_GibbsStep(benchmark::State& state) {
+  // Gibbs resampling evaluates the local conditional for all 9 labels.
+  const size_t n = static_cast<size_t>(state.range(0));
+  NerBench bench(n);
+  infer::GibbsProposal proposal(*bench.model);
+  auto sampler = bench.tokens.pdb->MakeSampler(&proposal, 23);
+  for (auto _ : state) {
+    sampler->Step();
+  }
+  bench.tokens.pdb->DiscardDeltas();
+}
+
+}  // namespace
+
+BENCHMARK(BM_MhStep)->Arg(10000)->Arg(50000)->Arg(200000)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_MhStepLinearChain)->Arg(10000)->Arg(200000)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_GibbsStep)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kNanosecond);
+
+BENCHMARK_MAIN();

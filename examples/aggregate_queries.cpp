@@ -1,0 +1,93 @@
+// Aggregate queries over a probabilistic database (paper §5.5): sampling
+// evaluation handles aggregates with no representation-system changes —
+// the answer to an aggregate query is a distribution over values.
+//
+// Runs the paper's Query 2 (count of person mentions) and Query 3
+// (documents with equal person and organization counts) plus a SUM/AVG
+// GROUP BY query showing the general machinery.
+//
+//   ./examples/aggregate_queries [num_tokens]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "ie/corpus.h"
+#include "ie/ner_proposal.h"
+#include "ie/queries.h"
+#include "ie/skip_chain_model.h"
+#include "ie/token_pdb.h"
+#include "pdb/query_evaluator.h"
+#include "sql/binder.h"
+
+using namespace fgpdb;
+
+int main(int argc, char** argv) {
+  const size_t num_tokens =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  ie::SyntheticCorpus corpus = ie::GenerateCorpus({.num_tokens = num_tokens});
+  ie::TokenPdb tokens = ie::BuildTokenPdb(corpus);
+  ie::SkipChainNerModel model(tokens);
+  model.InitializeFromCorpusStatistics(tokens);
+  tokens.pdb->set_model(&model);
+  std::cout << "TOKEN relation: " << tokens.num_tokens() << " tuples, "
+            << corpus.num_docs << " documents\n";
+
+  auto evaluate = [&](const std::string& query, uint64_t samples) {
+    auto world = tokens.pdb->Clone();
+    ra::PlanPtr plan = sql::PlanQuery(query, world->db());
+    ie::DocumentBatchProposal proposal(&tokens.docs);
+    pdb::MaterializedQueryEvaluator evaluator(
+        world.get(), &proposal, plan.get(),
+        {.steps_per_sample = 1000,
+         .burn_in = 40 * static_cast<uint64_t>(tokens.num_tokens()),
+         .seed = 31});
+    evaluator.Run(samples);
+    return evaluator.answer().Sorted();
+  };
+
+  // --- Query 2: the answer is a distribution over counts ------------------
+  std::cout << "\n== Query 2 ==\n" << ie::kQuery2 << "\n";
+  auto q2 = evaluate(ie::kQuery2, 800);
+  double mean = 0.0;
+  for (const auto& [tuple, p] : q2) mean += tuple.at(0).AsNumeric() * p;
+  std::cout << "answer: distribution over " << q2.size()
+            << " count values, mean " << mean << "; most likely:\n";
+  auto by_prob = q2;
+  std::sort(by_prob.begin(), by_prob.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (size_t i = 0; i < by_prob.size() && i < 5; ++i) {
+    std::cout << "  COUNT = " << by_prob[i].first.ToString() << "  Pr="
+              << by_prob[i].second << "\n";
+  }
+
+  // --- Query 3: per-document aggregate comparison -------------------------
+  std::cout << "\n== Query 3 ==\n" << ie::kQuery3 << "\n";
+  auto q3 = evaluate(ie::kQuery3, 800);
+  std::sort(q3.begin(), q3.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::cout << "documents whose PER count equals their ORG count ("
+            << q3.size() << " candidates):\n";
+  for (size_t i = 0; i < q3.size() && i < 5; ++i) {
+    std::cout << "  DOC_ID = " << q3[i].first.ToString() << "  Pr="
+              << q3[i].second << "\n";
+  }
+
+  // --- A richer aggregate: per-document entity statistics ------------------
+  const char* kStatsQuery =
+      "SELECT DOC_ID, COUNT_IF(LABEL = 'B-PER') AS PERSONS, "
+      "COUNT_IF(LABEL = 'B-ORG') AS ORGS FROM TOKEN "
+      "GROUP BY DOC_ID HAVING COUNT_IF(LABEL = 'B-PER') >= 8";
+  std::cout << "\n== Grouped aggregate with HAVING ==\n" << kStatsQuery << "\n";
+  auto stats = evaluate(kStatsQuery, 400);
+  std::sort(stats.begin(), stats.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::cout << "(DOC_ID, PERSONS, ORGS) rows that are likely in the answer:\n";
+  for (size_t i = 0; i < stats.size() && i < 5; ++i) {
+    std::cout << "  " << stats[i].first.ToString() << "  Pr="
+              << stats[i].second << "\n";
+  }
+  std::cout << "\nNote: every query above ran through the same incremental-"
+               "view evaluator — aggregates need no special handling "
+               "(paper §4, §5.5).\n";
+  return 0;
+}

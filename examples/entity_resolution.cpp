@@ -1,0 +1,101 @@
+// Entity resolution example (paper Figure 1, bottom row; §3.4): cluster
+// name mentions with a pairwise factor model, sampling partitions with the
+// constraint-preserving split-merge proposal. The MENTION relation stores
+// the single current clustering; Metropolis-Hastings recovers the posterior
+// over co-reference decisions, reported as pairwise match probabilities.
+//
+//   ./examples/entity_resolution
+#include <iomanip>
+#include <iostream>
+
+#include "ie/entity_resolution.h"
+#include "infer/metropolis_hastings.h"
+#include "pdb/probabilistic_database.h"
+#include "util/stopwatch.h"
+
+using namespace fgpdb;
+
+int main() {
+  // The paper's own example mentions (Figure 1 Pane C) plus a few more.
+  const std::vector<std::string> mentions = {
+      "John Smith",  "J. Smith",   "J. Simms",  "Jon Smith",
+      "Acme Corp",   "Acme",       "Acme Inc",  "Global Partners",
+      "G. Partners", "Kunming",
+  };
+  ie::EntityResolutionModel model(mentions);
+
+  // Store the single world in a MENTION(ID, CLUSTER) relation, as the paper
+  // stores clusterings (Figure 1 Pane C).
+  pdb::ProbabilisticDatabase db;
+  Schema schema(
+      {Attribute{"ID", ValueType::kInt64},
+       Attribute{"NAME", ValueType::kString},
+       Attribute{"CLUSTER", ValueType::kInt64}},
+      0);
+  Table* table = db.db().CreateTable("MENTION", std::move(schema));
+  auto cluster_domain = std::make_shared<factor::Domain>(
+      factor::Domain::OfRange(static_cast<int64_t>(mentions.size())));
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    const RowId row = table->Insert(
+        Tuple{Value::Int(static_cast<int64_t>(i)), Value::String(mentions[i]),
+              Value::Int(static_cast<int64_t>(i))});  // Singleton clusters.
+    db.binding().Bind("MENTION", row, 2, cluster_domain);
+  }
+  db.SyncWorldFromDatabase();
+  db.set_model(&model);
+
+  // Sample partitions with split-merge.
+  ie::SplitMergeProposal proposal(model);
+  auto sampler = db.MakeSampler(&proposal, /*seed=*/7);
+  Stopwatch timer;
+  sampler->Run(20000);  // Burn-in.
+  db.DiscardDeltas();
+
+  // Pairwise co-reference marginals.
+  std::vector<std::vector<double>> together(
+      mentions.size(), std::vector<double>(mentions.size(), 0.0));
+  const int kSamples = 50000;
+  for (int s = 0; s < kSamples; ++s) {
+    sampler->Step();
+    for (size_t i = 0; i < mentions.size(); ++i) {
+      for (size_t j = i + 1; j < mentions.size(); ++j) {
+        if (db.world().Get(static_cast<factor::VarId>(i)) ==
+            db.world().Get(static_cast<factor::VarId>(j))) {
+          together[i][j] += 1.0;
+        }
+      }
+    }
+  }
+  db.DiscardDeltas();
+  std::cout << "Sampled " << kSamples << " partitions in "
+            << timer.ElapsedSeconds() << "s (acceptance rate "
+            << sampler->acceptance_rate() << ")\n\n";
+
+  std::cout << "Pairwise coreference probabilities (>= 0.05):\n";
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    for (size_t j = i + 1; j < mentions.size(); ++j) {
+      const double p = together[i][j] / kSamples;
+      if (p >= 0.05) {
+        std::cout << "  " << std::setw(16) << mentions[i] << " ~ "
+                  << std::setw(16) << mentions[j] << "  " << p << "\n";
+      }
+    }
+  }
+
+  // The maximum-probability clustering seen in the final state.
+  std::cout << "\nFinal sampled clustering (stored in the MENTION relation):\n";
+  for (const auto& cluster : model.Clusters(db.world())) {
+    std::cout << "  {";
+    for (size_t m = 0; m < cluster.size(); ++m) {
+      std::cout << (m > 0 ? ", " : "") << mentions[cluster[m]];
+    }
+    std::cout << "}\n";
+  }
+  // Confirm the relation mirrors the world (the §3 invariant).
+  table->Scan([&](RowId row, const Tuple& t) {
+    FGPDB_CHECK_EQ(static_cast<uint32_t>(t.at(2).AsInt()),
+                   db.world().Get(static_cast<factor::VarId>(row)));
+  });
+  std::cout << "\nMENTION relation verified in sync with the sampled world.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "factor/domain.h"
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace factor {
+
+Domain::Domain(std::vector<Value> values) : values_(std::move(values)) {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const bool inserted = index_.emplace(values_[i], i).second;
+    FGPDB_CHECK(inserted) << "duplicate domain value " << values_[i].ToString();
+  }
+}
+
+Domain Domain::OfStrings(const std::vector<std::string>& labels) {
+  std::vector<Value> values;
+  values.reserve(labels.size());
+  for (const auto& label : labels) values.push_back(Value::String(label));
+  return Domain(std::move(values));
+}
+
+Domain Domain::OfRange(int64_t n) {
+  std::vector<Value> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) values.push_back(Value::Int(i));
+  return Domain(std::move(values));
+}
+
+std::optional<size_t> Domain::IndexOf(const Value& v) const {
+  const auto it = index_.find(v);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Domain::RequireIndexOf(const Value& v) const {
+  const auto idx = IndexOf(v);
+  FGPDB_CHECK(idx.has_value()) << "value " << v.ToString() << " not in domain";
+  return *idx;
+}
+
+}  // namespace factor
+}  // namespace fgpdb

@@ -1,0 +1,46 @@
+// Discrete variable domains (paper §3.1: DOM(Y_i)).
+//
+// A Domain is an ordered list of distinct Values; variables store *indexes*
+// into their domain, so worlds are compact integer vectors and the tuple
+// binding layer can translate index <-> field value both ways.
+#ifndef FGPDB_FACTOR_DOMAIN_H_
+#define FGPDB_FACTOR_DOMAIN_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace fgpdb {
+namespace factor {
+
+class Domain {
+ public:
+  explicit Domain(std::vector<Value> values);
+
+  /// Convenience: a domain of string labels.
+  static Domain OfStrings(const std::vector<std::string>& labels);
+
+  /// Convenience: integers [0, n).
+  static Domain OfRange(int64_t n);
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t index) const { return values_.at(index); }
+
+  /// Index of `v` in the domain, if present.
+  std::optional<size_t> IndexOf(const Value& v) const;
+
+  /// Index of `v`; fatal if absent.
+  size_t RequireIndexOf(const Value& v) const;
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, size_t, ValueHasher> index_;
+};
+
+}  // namespace factor
+}  // namespace fgpdb
+
+#endif  // FGPDB_FACTOR_DOMAIN_H_

@@ -1,0 +1,40 @@
+#include "factor/factor.h"
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace factor {
+
+TableFactor::TableFactor(std::vector<VarId> variables,
+                         std::vector<size_t> domain_sizes,
+                         std::vector<double> log_scores)
+    : Factor(std::move(variables)),
+      domain_sizes_(std::move(domain_sizes)),
+      log_scores_(std::move(log_scores)) {
+  FGPDB_CHECK_EQ(this->variables().size(), domain_sizes_.size());
+  size_t expected = 1;
+  for (size_t s : domain_sizes_) expected *= s;
+  FGPDB_CHECK_EQ(log_scores_.size(), expected);
+}
+
+size_t TableFactor::IndexOf(const std::vector<uint32_t>& values) const {
+  FGPDB_CHECK_EQ(values.size(), domain_sizes_.size());
+  size_t index = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    FGPDB_CHECK_LT(values[i], domain_sizes_[i]);
+    index = index * domain_sizes_[i] + values[i];
+  }
+  return index;
+}
+
+double TableFactor::LogScore(const std::vector<uint32_t>& values) const {
+  return log_scores_[IndexOf(values)];
+}
+
+void TableFactor::SetLogScore(const std::vector<uint32_t>& values,
+                              double log_score) {
+  log_scores_[IndexOf(values)] = log_score;
+}
+
+}  // namespace factor
+}  // namespace fgpdb

@@ -1,0 +1,78 @@
+// Explicit factors (paper §3.1): non-negative scoring functions over small
+// sets of variables, stored here in log space.
+//
+// Explicit factors are used where the graph is small enough to instantiate
+// (entity resolution, unit tests, exact inference); large templated models
+// score lazily through Model instead (see model.h).
+#ifndef FGPDB_FACTOR_FACTOR_H_
+#define FGPDB_FACTOR_FACTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "factor/domain.h"
+#include "factor/world.h"
+
+namespace fgpdb {
+namespace factor {
+
+class Factor {
+ public:
+  explicit Factor(std::vector<VarId> variables)
+      : variables_(std::move(variables)) {}
+  virtual ~Factor() = default;
+
+  const std::vector<VarId>& variables() const { return variables_; }
+  size_t arity() const { return variables_.size(); }
+
+  /// log ψ(values), where values[i] is the assignment of variables()[i].
+  /// May return -inf to veto a configuration (deterministic constraint
+  /// factors, paper §3.2).
+  virtual double LogScore(const std::vector<uint32_t>& values) const = 0;
+
+ private:
+  std::vector<VarId> variables_;
+};
+
+/// Dense log-score table over the joint assignment (mixed-radix indexed).
+class TableFactor final : public Factor {
+ public:
+  /// `domain_sizes[i]` is the domain size of variables[i]; `log_scores` has
+  /// prod(domain_sizes) entries in row-major order (last variable fastest).
+  TableFactor(std::vector<VarId> variables, std::vector<size_t> domain_sizes,
+              std::vector<double> log_scores);
+
+  double LogScore(const std::vector<uint32_t>& values) const override;
+
+  /// Mutable access for tests / hand-tuned models.
+  void SetLogScore(const std::vector<uint32_t>& values, double log_score);
+
+ private:
+  size_t IndexOf(const std::vector<uint32_t>& values) const;
+
+  std::vector<size_t> domain_sizes_;
+  std::vector<double> log_scores_;
+};
+
+/// Factor scored by an arbitrary callable (closures may capture observed
+/// data — the conditioning X of the paper's CRFs).
+class LambdaFactor final : public Factor {
+ public:
+  using ScoreFn = std::function<double(const std::vector<uint32_t>&)>;
+
+  LambdaFactor(std::vector<VarId> variables, ScoreFn fn)
+      : Factor(std::move(variables)), fn_(std::move(fn)) {}
+
+  double LogScore(const std::vector<uint32_t>& values) const override {
+    return fn_(values);
+  }
+
+ private:
+  ScoreFn fn_;
+};
+
+}  // namespace factor
+}  // namespace fgpdb
+
+#endif  // FGPDB_FACTOR_FACTOR_H_

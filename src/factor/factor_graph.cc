@@ -1,0 +1,68 @@
+#include "factor/factor_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace factor {
+
+VarId FactorGraph::AddVariable(std::shared_ptr<const Domain> domain,
+                               std::string name) {
+  FGPDB_CHECK(domain != nullptr);
+  FGPDB_CHECK_GT(domain->size(), 0u);
+  const VarId id = static_cast<VarId>(domains_.size());
+  if (name.empty()) name = "y" + std::to_string(id);
+  domains_.push_back(std::move(domain));
+  names_.push_back(std::move(name));
+  factors_of_.emplace_back();
+  return id;
+}
+
+size_t FactorGraph::AddFactor(std::unique_ptr<Factor> factor) {
+  FGPDB_CHECK(factor != nullptr);
+  const uint32_t index = static_cast<uint32_t>(factors_.size());
+  for (VarId v : factor->variables()) {
+    FGPDB_CHECK_LT(v, domains_.size()) << "factor references unknown variable";
+    factors_of_[v].push_back(index);
+  }
+  factors_.push_back(std::move(factor));
+  return index;
+}
+
+double FactorGraph::LogScoreDelta(const World& world,
+                                  const Change& change) const {
+  // Collect the factors adjacent to any changed variable, deduplicated.
+  std::vector<uint32_t> touched;
+  for (const auto& a : change.assignments) {
+    const auto& fs = factors_of_.at(a.var);
+    touched.insert(touched.end(), fs.begin(), fs.end());
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  const PatchedWorld patched(world, change);
+  std::vector<uint32_t> old_values, new_values;
+  double delta = 0.0;
+  for (uint32_t f : touched) {
+    const Factor& factor = *factors_[f];
+    GatherValues(factor, [&](VarId v) { return world.Get(v); }, &old_values);
+    GatherValues(factor, [&](VarId v) { return patched.Get(v); }, &new_values);
+    delta += factor.LogScore(new_values) - factor.LogScore(old_values);
+  }
+  return delta;
+}
+
+double FactorGraph::LogScore(const World& world) const {
+  FGPDB_CHECK_EQ(world.size(), num_variables());
+  std::vector<uint32_t> values;
+  double total = 0.0;
+  for (const auto& factor : factors_) {
+    GatherValues(*factor, [&](VarId v) { return world.Get(v); }, &values);
+    total += factor->LogScore(values);
+  }
+  return total;
+}
+
+}  // namespace factor
+}  // namespace fgpdb

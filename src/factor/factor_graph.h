@@ -1,0 +1,70 @@
+// Explicitly instantiated factor graph implementing the Model interface.
+//
+// Variable→factor adjacency makes LogScoreDelta local: only factors touching
+// changed variables are evaluated, mirroring the cancellation in paper
+// Appendix 9.2 (ZX and untouched factors cancel from the MH ratio).
+#ifndef FGPDB_FACTOR_FACTOR_GRAPH_H_
+#define FGPDB_FACTOR_FACTOR_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "factor/factor.h"
+#include "factor/model.h"
+
+namespace fgpdb {
+namespace factor {
+
+class FactorGraph : public Model {
+ public:
+  FactorGraph() = default;
+
+  /// Adds a hidden variable over `domain` (shared; may be reused across
+  /// variables). Returns its id, which indexes Worlds for this graph.
+  VarId AddVariable(std::shared_ptr<const Domain> domain,
+                    std::string name = "");
+
+  /// Adds a factor; its variable ids must already exist.
+  size_t AddFactor(std::unique_ptr<Factor> factor);
+
+  size_t num_factors() const { return factors_.size(); }
+  const Factor& factor(size_t i) const { return *factors_.at(i); }
+  const Domain& domain(VarId var) const { return *domains_.at(var); }
+  const std::string& name(VarId var) const { return names_.at(var); }
+
+  /// Factor indexes touching `var`.
+  const std::vector<uint32_t>& FactorsOf(VarId var) const {
+    return factors_of_.at(var);
+  }
+
+  /// Creates a world with one slot per variable, all zeros.
+  World MakeWorld() const { return World(num_variables()); }
+
+  // --- Model ---------------------------------------------------------------
+  double LogScoreDelta(const World& world, const Change& change) const override;
+  double LogScore(const World& world) const override;
+  size_t num_variables() const override { return domains_.size(); }
+  size_t domain_size(VarId var) const override {
+    return domains_.at(var)->size();
+  }
+
+ private:
+  /// Gathers a factor's argument values from an accessor.
+  template <typename GetFn>
+  void GatherValues(const Factor& factor, const GetFn& get,
+                    std::vector<uint32_t>* out) const {
+    out->clear();
+    for (VarId v : factor.variables()) out->push_back(get(v));
+  }
+
+  std::vector<std::shared_ptr<const Domain>> domains_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Factor>> factors_;
+  std::vector<std::vector<uint32_t>> factors_of_;
+};
+
+}  // namespace factor
+}  // namespace fgpdb
+
+#endif  // FGPDB_FACTOR_FACTOR_GRAPH_H_

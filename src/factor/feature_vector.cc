@@ -1,0 +1,51 @@
+#include "factor/feature_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgpdb {
+namespace factor {
+
+void SparseVector::Consolidate() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<FeatureId, double>> merged;
+  merged.reserve(entries_.size());
+  for (const auto& [id, value] : entries_) {
+    if (!merged.empty() && merged.back().first == id) {
+      merged.back().second += value;
+    } else {
+      merged.push_back({id, value});
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const auto& e) { return e.second == 0.0; }),
+               merged.end());
+  entries_ = std::move(merged);
+}
+
+void Parameters::UpdateSparse(const SparseVector& features, double scale) {
+  for (const auto& [id, value] : features.entries()) {
+    weights_[id] += scale * value;
+  }
+}
+
+double Parameters::Dot(const SparseVector& features) const {
+  double total = 0.0;
+  for (const auto& [id, value] : features.entries()) {
+    total += Get(id) * value;
+  }
+  return total;
+}
+
+double Parameters::Norm() const {
+  double total = 0.0;
+  for (const auto& [id, w] : weights_) {
+    (void)id;
+    total += w * w;
+  }
+  return std::sqrt(total);
+}
+
+}  // namespace factor
+}  // namespace fgpdb

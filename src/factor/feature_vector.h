@@ -1,0 +1,94 @@
+// Sparse feature vectors and the parameter (weight) store.
+//
+// Factors in log-linear models score as ψ(x,y) = exp(φ(x,y)·θ) (paper §3.1).
+// Features are identified by 64-bit hashed ids; SampleRank (src/learn)
+// updates weights through the same ids, so templates only have to emit
+// feature deltas.
+#ifndef FGPDB_FACTOR_FEATURE_VECTOR_H_
+#define FGPDB_FACTOR_FEATURE_VECTOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace fgpdb {
+namespace factor {
+
+using FeatureId = uint64_t;
+
+/// Stable feature id from a template name and up to three integer roles
+/// (e.g. ("emission", string_id, label) or ("transition", from, to)).
+inline FeatureId MakeFeatureId(std::string_view space, uint64_t a = 0,
+                               uint64_t b = 0, uint64_t c = 0) {
+  uint64_t h = HashString(space);
+  h = HashCombine(h, Mix64(a ^ 0x9e3779b97f4a7c15ULL));
+  h = HashCombine(h, Mix64(b ^ 0xc2b2ae3d27d4eb4fULL));
+  h = HashCombine(h, Mix64(c ^ 0x165667b19e3779f9ULL));
+  return h;
+}
+
+/// Sparse vector of (feature id, value); duplicate ids are allowed and are
+/// summed by consumers.
+class SparseVector {
+ public:
+  void Add(FeatureId id, double value) {
+    if (value != 0.0) entries_.push_back({id, value});
+  }
+
+  void Clear() { entries_.clear(); }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  const std::vector<std::pair<FeatureId, double>>& entries() const {
+    return entries_;
+  }
+
+  /// Appends all of `other` scaled by `scale` (e.g. -1 for "old" features).
+  void AddScaled(const SparseVector& other, double scale) {
+    for (const auto& [id, value] : other.entries_) {
+      Add(id, value * scale);
+    }
+  }
+
+  /// Collapses duplicate ids (sums values, drops zeros).
+  void Consolidate();
+
+ private:
+  std::vector<std::pair<FeatureId, double>> entries_;
+};
+
+/// Weight store θ. Reads of unknown features return 0 so models can be
+/// scored before training.
+class Parameters {
+ public:
+  double Get(FeatureId id) const {
+    const auto it = weights_.find(id);
+    return it == weights_.end() ? 0.0 : it->second;
+  }
+
+  void Set(FeatureId id, double value) { weights_[id] = value; }
+
+  void Update(FeatureId id, double delta) { weights_[id] += delta; }
+
+  /// θ += scale * features (a perceptron step).
+  void UpdateSparse(const SparseVector& features, double scale);
+
+  /// φ·θ.
+  double Dot(const SparseVector& features) const;
+
+  size_t size() const { return weights_.size(); }
+
+  /// L2 norm of the weight vector (diagnostics).
+  double Norm() const;
+
+ private:
+  std::unordered_map<FeatureId, double> weights_;
+};
+
+}  // namespace factor
+}  // namespace fgpdb
+
+#endif  // FGPDB_FACTOR_FEATURE_VECTOR_H_

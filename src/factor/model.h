@@ -1,0 +1,53 @@
+// Model: the scoring interface MCMC inference runs against.
+//
+// The key operation is LogScoreDelta — log π(w')/π(w) for a hypothesized
+// Change — which by the cancellation argument of paper Appendix 9.2 only
+// needs the factors whose arguments the change touches. Explicitly
+// instantiated FactorGraphs implement it via variable→factor adjacency;
+// templated models (e.g. the skip-chain CRF in src/ie) implement it lazily
+// without ever materializing the graph, exactly as §3.4 prescribes.
+#ifndef FGPDB_FACTOR_MODEL_H_
+#define FGPDB_FACTOR_MODEL_H_
+
+#include "factor/feature_vector.h"
+#include "factor/world.h"
+
+namespace fgpdb {
+namespace factor {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// log π(w') − log π(w) for world w and hypothesized change to w'.
+  /// ZX cancels (Eq. 3), so this is a plain factor-score difference.
+  virtual double LogScoreDelta(const World& world, const Change& change) const = 0;
+
+  /// Unnormalized log π(w) over the *entire* graph. Potentially expensive —
+  /// used by exact inference, tests, and diagnostics, never by the sampler.
+  virtual double LogScore(const World& world) const = 0;
+
+  /// Number of hidden variables this model scores.
+  virtual size_t num_variables() const = 0;
+
+  /// Domain size of variable `var` (candidate values are [0, size)).
+  virtual size_t domain_size(VarId var) const = 0;
+};
+
+/// A model whose score is φ(w)·θ for a sparse feature map φ and trainable
+/// weights θ. SampleRank trains anything implementing this.
+class FeatureModel : public Model {
+ public:
+  /// φ(w') − φ(w) restricted to factors touched by `change`.
+  virtual void FeatureDelta(const World& world, const Change& change,
+                            SparseVector* out) const = 0;
+
+  /// The trainable weights.
+  virtual Parameters& parameters() = 0;
+  virtual const Parameters& parameters() const = 0;
+};
+
+}  // namespace factor
+}  // namespace fgpdb
+
+#endif  // FGPDB_FACTOR_MODEL_H_

@@ -1,0 +1,104 @@
+// World: a full assignment to the hidden variables — the paper's single
+// possible world, mirrored into the relational database by the pdb layer.
+#ifndef FGPDB_FACTOR_WORLD_H_
+#define FGPDB_FACTOR_WORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace factor {
+
+using VarId = uint32_t;
+
+/// One proposed variable re-assignment (new value index).
+struct Assignment {
+  VarId var = 0;
+  uint32_t value = 0;
+};
+
+/// A hypothesized modification to the current world: the set of variables
+/// the proposal touches, with their new values (old values live in World).
+struct Change {
+  std::vector<Assignment> assignments;
+
+  bool empty() const { return assignments.empty(); }
+  void Set(VarId var, uint32_t value) { assignments.push_back({var, value}); }
+};
+
+/// An executed modification, with both old and new values — what the
+/// database-synchronization listeners consume to build Δ−/Δ+.
+struct AppliedAssignment {
+  VarId var = 0;
+  uint32_t old_value = 0;
+  uint32_t new_value = 0;
+};
+
+class World {
+ public:
+  World() = default;
+  explicit World(size_t num_variables) : values_(num_variables, 0) {}
+
+  size_t size() const { return values_.size(); }
+
+  /// Appends a variable initialized to `value`; returns its id.
+  VarId Append(uint32_t value = 0) {
+    values_.push_back(value);
+    return static_cast<VarId>(values_.size() - 1);
+  }
+
+  uint32_t Get(VarId var) const {
+    FGPDB_CHECK_LT(var, values_.size());
+    return values_[var];
+  }
+
+  void Set(VarId var, uint32_t value) {
+    FGPDB_CHECK_LT(var, values_.size());
+    values_[var] = value;
+  }
+
+  /// Applies `change`, recording old values into `applied` (if non-null).
+  void Apply(const Change& change,
+             std::vector<AppliedAssignment>* applied = nullptr) {
+    for (const auto& a : change.assignments) {
+      const uint32_t old_value = Get(a.var);
+      if (applied != nullptr) applied->push_back({a.var, old_value, a.value});
+      Set(a.var, a.value);
+    }
+  }
+
+  const std::vector<uint32_t>& values() const { return values_; }
+
+ private:
+  std::vector<uint32_t> values_;
+};
+
+/// Read-only overlay of a Change on top of a World: what the hypothesized
+/// world w' looks like without mutating w. Used to evaluate factors on both
+/// sides of the MH acceptance ratio.
+class PatchedWorld {
+ public:
+  PatchedWorld(const World& base, const Change& change) : base_(base) {
+    for (const auto& a : change.assignments) patch_.push_back(a);
+  }
+
+  uint32_t Get(VarId var) const {
+    // Reverse scan: if a change assigns the same variable twice, the last
+    // assignment wins, matching World::Apply's sequential semantics.
+    for (auto it = patch_.rbegin(); it != patch_.rend(); ++it) {
+      if (it->var == var) return it->value;
+    }
+    return base_.Get(var);
+  }
+
+ private:
+  const World& base_;
+  std::vector<Assignment> patch_;  // Linear scan: proposals touch few vars.
+};
+
+}  // namespace factor
+}  // namespace fgpdb
+
+#endif  // FGPDB_FACTOR_WORLD_H_

@@ -1,0 +1,76 @@
+#include "ie/bio_proposal.h"
+
+#include "ie/labels.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace ie {
+
+BioConstrainedProposal::BioConstrainedProposal(
+    const std::vector<std::vector<factor::VarId>>* docs,
+    size_t proposals_per_batch, size_t docs_per_batch)
+    : docs_(docs),
+      proposals_per_batch_(proposals_per_batch),
+      docs_per_batch_(docs_per_batch) {
+  FGPDB_CHECK(docs_ != nullptr);
+  FGPDB_CHECK(!docs_->empty());
+  // Neighbor lookup across all documents.
+  size_t max_var = 0;
+  for (const auto& doc : *docs_) {
+    for (factor::VarId v : doc) max_var = std::max<size_t>(max_var, v);
+  }
+  prev_.assign(max_var + 1, kNoVar);
+  next_.assign(max_var + 1, kNoVar);
+  for (const auto& doc : *docs_) {
+    for (size_t i = 0; i + 1 < doc.size(); ++i) {
+      next_[doc[i]] = doc[i + 1];
+      prev_[doc[i + 1]] = doc[i];
+    }
+  }
+}
+
+void BioConstrainedProposal::ReloadBatch(Rng& rng) {
+  batch_.clear();
+  for (size_t i = 0; i < docs_per_batch_; ++i) {
+    const auto& doc = (*docs_)[rng.UniformInt(docs_->size())];
+    batch_.insert(batch_.end(), doc.begin(), doc.end());
+  }
+  proposals_since_reload_ = 0;
+}
+
+std::vector<uint32_t> BioConstrainedProposal::ValidLabels(
+    const factor::World& world, factor::VarId var) const {
+  // The previous label is 'O' at document starts (a mention cannot
+  // continue across a boundary).
+  const uint32_t prev_label =
+      prev_[var] == kNoVar ? kLabelO : world.Get(prev_[var]);
+  std::vector<uint32_t> valid;
+  valid.reserve(kNumLabels);
+  for (uint32_t y = 0; y < kNumLabels; ++y) {
+    if (!ValidTransition(prev_label, y)) continue;
+    if (next_[var] != kNoVar &&
+        !ValidTransition(y, world.Get(next_[var]))) {
+      continue;
+    }
+    valid.push_back(y);
+  }
+  return valid;
+}
+
+factor::Change BioConstrainedProposal::Propose(const factor::World& world,
+                                               Rng& rng, double* log_ratio) {
+  *log_ratio = 0.0;  // Candidate set depends only on unchanged neighbors.
+  if (batch_.empty() || proposals_since_reload_ >= proposals_per_batch_) {
+    ReloadBatch(rng);
+  }
+  ++proposals_since_reload_;
+  const factor::VarId var = batch_[rng.UniformInt(batch_.size())];
+  const std::vector<uint32_t> valid = ValidLabels(world, var);
+  factor::Change change;
+  if (valid.empty()) return change;  // Neighbors pin this label; stay put.
+  change.Set(var, valid[rng.UniformInt(valid.size())]);
+  return change;
+}
+
+}  // namespace ie
+}  // namespace fgpdb

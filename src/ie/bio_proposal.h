@@ -1,0 +1,58 @@
+// BIO-constraint-preserving proposal (paper Appendix 9.3):
+//
+//   "Note that I-<T> can follow B-<U> if and only if T = U … This suggests
+//    we could devise a more intelligent jump function that takes this
+//    constraint into account."
+//
+// The kernel picks a variable from the current document batch and proposes
+// uniformly among the labels that keep the BIO sequence *locally valid*
+// with respect to both neighbors (the previous label must license the new
+// one; the new one must license the unchanged next label). Because the
+// neighbors don't move, the valid-candidate set is identical for the
+// forward and reverse jump, so the kernel is symmetric. Starting from a
+// valid world (e.g. all 'O'), the chain never leaves the valid-BIO region —
+// the §3.4 constraint-preserving-proposal idea, without any deterministic
+// constraint factors.
+#ifndef FGPDB_IE_BIO_PROPOSAL_H_
+#define FGPDB_IE_BIO_PROPOSAL_H_
+
+#include <vector>
+
+#include "ie/token_pdb.h"
+#include "infer/proposal.h"
+
+namespace fgpdb {
+namespace ie {
+
+class BioConstrainedProposal final : public infer::Proposal {
+ public:
+  /// `docs` as in DocumentBatchProposal; must outlive the proposal.
+  BioConstrainedProposal(const std::vector<std::vector<factor::VarId>>* docs,
+                         size_t proposals_per_batch = 2000,
+                         size_t docs_per_batch = 5);
+
+  factor::Change Propose(const factor::World& world, Rng& rng,
+                         double* log_ratio) override;
+
+  /// Labels valid at `var` given its neighbors' current labels. Exposed
+  /// for tests.
+  std::vector<uint32_t> ValidLabels(const factor::World& world,
+                                    factor::VarId var) const;
+
+ private:
+  void ReloadBatch(Rng& rng);
+
+  const std::vector<std::vector<factor::VarId>>* docs_;
+  size_t proposals_per_batch_;
+  size_t docs_per_batch_;
+  std::vector<factor::VarId> batch_;
+  std::vector<factor::VarId> prev_;
+  std::vector<factor::VarId> next_;
+  size_t proposals_since_reload_ = 0;
+  static constexpr factor::VarId kNoVar = ~0u;
+};
+
+}  // namespace ie
+}  // namespace fgpdb
+
+#endif  // FGPDB_IE_BIO_PROPOSAL_H_

@@ -1,0 +1,221 @@
+#include "ie/corpus.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fgpdb {
+namespace ie {
+namespace {
+
+// --- Lexicons ---------------------------------------------------------------
+// Strings appearing in more than one lexicon are deliberate: they make the
+// truth genuinely ambiguous from surface form alone, which is what the
+// paper's probabilistic queries are about ("Boston" Red Sox vs Boston MA).
+
+const std::vector<std::string>& FirstNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "John",   "Mary",   "Robert", "Susan",  "David",  "Linda",  "Michael",
+      "Karen",  "James",  "Nancy",  "Peter",  "Laura",  "Kevin",  "Sarah",
+      "Manny",  "Theo",   "Eli",    "Jason",  "Carlos", "Pedro",  "Hillary",
+      "Bill",   "George", "Jordan", "Tyler",  "Austin", "Madison"};
+  return *kNames;
+}
+
+const std::vector<std::string>& Surnames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "Smith",    "Johnson", "Williams", "Brown",   "Jones",   "Garcia",
+      "Miller",   "Davis",   "Martinez", "Clinton", "Ramirez", "Beltran",
+      "Ortiz",    "Chen",    "Kim",      "Nguyen",  "Patel",   "Washington",
+      "Lincoln",  "Madison", "Jackson",  "Franklin"};
+  return *kNames;
+}
+
+const std::vector<std::string>& OrgRoots() {
+  static const auto* kNames = new std::vector<std::string>{
+      "Acme",    "Global",   "Sterling", "Apex",    "Pinnacle", "Vertex",
+      "Boston",  "Chicago",  "Houston",  "Quantum", "Atlas",    "Meridian",
+      "Jackson", "Franklin", "Apple",    "Delta",   "Titan",    "Nova"};
+  return *kNames;
+}
+
+const std::vector<std::string>& OrgSuffixes() {
+  static const auto* kNames = new std::vector<std::string>{
+      "Corp", "Inc", "Systems", "Group", "Bank", "Partners", "Labs",
+      "Media", "Holdings"};
+  return *kNames;
+}
+
+const std::vector<std::string>& Locations() {
+  static const auto* kNames = new std::vector<std::string>{
+      "Boston",     "Chicago",  "Houston",    "Springfield", "Denver",
+      "Seattle",    "Portland", "Austin",     "Madison",     "Jackson",
+      "Washington", "Dover",    "Manchester", "Cambridge",   "Oxford",
+      "Kunming",    "Osaka",    "Nairobi",    "Lima",        "Quito"};
+  return *kNames;
+}
+
+const std::vector<std::string>& MiscNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "Olympics", "Grammys",  "Oscars",  "French",  "German",  "Spanish",
+      "Italian",  "Japanese", "Marathon", "Derby",  "Classic", "Mundial"};
+  return *kNames;
+}
+
+const std::vector<std::string>& BackgroundWords() {
+  static const auto* kWords = new std::vector<std::string>{
+      "the",     "a",      "an",      "of",      "and",     "to",      "in",
+      "that",    "said",   "for",     "on",      "with",    "as",
+      "was",     "at",     "by",      "from",    "has",     "its",
+      "but",     "this",   "have",    "or",      "had",     "not",
+      "are",     "his",    "her",     "they",    "been",    "will",
+      "would",   "about",  "there",   "spokesman", "company", "officials",
+      "yesterday", "report", "market", "season",  "game",    "team",
+      "city",    "week",   "million", "percent", "shares",  "announced",
+      "according", "statement", "quarter", "analysts", "coach", "players"};
+  return *kWords;
+}
+
+// --- Per-document entity pools ----------------------------------------------
+
+struct Mention {
+  std::vector<std::string> tokens;
+  EntityType type = EntityType::kNone;
+};
+
+struct DocPool {
+  std::vector<Mention> mentions;  // Sampled with repetition during the doc.
+};
+
+// Open-ended synthetic name space: 2-3 syllables, capitalized. ~15^3
+// combinations, so a sampled name rarely recurs outside its own document —
+// the Zipf tail of the entity distribution.
+std::string MakeRareName(Rng& rng) {
+  static const char* kSyllables[] = {"ka",  "ren", "mo",  "ta", "li",
+                                     "sor", "ben", "du",  "ven", "pra",
+                                     "nel", "ti",  "gar", "os",  "mir"};
+  const size_t n = sizeof(kSyllables) / sizeof(kSyllables[0]);
+  std::string name;
+  const size_t parts = 2 + rng.UniformInt(2u);
+  for (size_t i = 0; i < parts; ++i) name += kSyllables[rng.UniformInt(n)];
+  name[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(name[0])));
+  return name;
+}
+
+Mention MakePerson(Rng& rng, double rare_fraction) {
+  Mention m;
+  m.type = EntityType::kPer;
+  if (rng.Bernoulli(rare_fraction)) {
+    m.tokens.push_back(MakeRareName(rng));
+    if (rng.Bernoulli(0.4)) {
+      m.tokens.push_back(Surnames()[rng.UniformInt(Surnames().size())]);
+    }
+    return m;
+  }
+  m.tokens.push_back(FirstNames()[rng.UniformInt(FirstNames().size())]);
+  if (rng.Bernoulli(0.6)) {
+    m.tokens.push_back(Surnames()[rng.UniformInt(Surnames().size())]);
+  }
+  return m;
+}
+
+Mention MakeOrg(Rng& rng, double rare_fraction) {
+  Mention m;
+  m.type = EntityType::kOrg;
+  if (rng.Bernoulli(rare_fraction)) {
+    m.tokens.push_back(MakeRareName(rng));
+  } else {
+    m.tokens.push_back(OrgRoots()[rng.UniformInt(OrgRoots().size())]);
+  }
+  if (rng.Bernoulli(0.7)) {
+    m.tokens.push_back(OrgSuffixes()[rng.UniformInt(OrgSuffixes().size())]);
+  }
+  return m;
+}
+
+Mention MakeLoc(Rng& rng, double rare_fraction) {
+  Mention m;
+  m.type = EntityType::kLoc;
+  if (rng.Bernoulli(rare_fraction)) {
+    m.tokens.push_back(MakeRareName(rng));
+  } else {
+    m.tokens.push_back(Locations()[rng.UniformInt(Locations().size())]);
+  }
+  return m;
+}
+
+Mention MakeMisc(Rng& rng) {
+  Mention m;
+  m.type = EntityType::kMisc;
+  m.tokens.push_back(MiscNames()[rng.UniformInt(MiscNames().size())]);
+  return m;
+}
+
+DocPool MakeDocPool(Rng& rng, double rare_fraction) {
+  DocPool pool;
+  const size_t n_per = 2 + rng.UniformInt(3);   // 2-4 people
+  const size_t n_org = 1 + rng.UniformInt(3);   // 1-3 orgs
+  const size_t n_loc = 1 + rng.UniformInt(2);   // 1-2 locations
+  const size_t n_misc = rng.UniformInt(2);      // 0-1 misc
+  for (size_t i = 0; i < n_per; ++i) {
+    pool.mentions.push_back(MakePerson(rng, rare_fraction));
+  }
+  for (size_t i = 0; i < n_org; ++i) {
+    pool.mentions.push_back(MakeOrg(rng, rare_fraction));
+  }
+  for (size_t i = 0; i < n_loc; ++i) {
+    pool.mentions.push_back(MakeLoc(rng, rare_fraction));
+  }
+  for (size_t i = 0; i < n_misc; ++i) pool.mentions.push_back(MakeMisc(rng));
+  return pool;
+}
+
+}  // namespace
+
+SyntheticCorpus GenerateCorpus(const CorpusOptions& options) {
+  FGPDB_CHECK_GT(options.num_tokens, 0u);
+  FGPDB_CHECK_GT(options.tokens_per_doc, 10u);
+  Rng rng(options.seed);
+  SyntheticCorpus corpus;
+  corpus.tokens.reserve(options.num_tokens + options.tokens_per_doc);
+
+  int64_t doc_id = 0;
+  while (corpus.tokens.size() < options.num_tokens) {
+    const size_t doc_begin = corpus.tokens.size();
+    // Document length varies ±50% around the mean.
+    const size_t doc_len = options.tokens_per_doc / 2 +
+                           rng.UniformInt(options.tokens_per_doc);
+    const DocPool pool = MakeDocPool(rng, options.rare_entity_fraction);
+    auto emit = [&](std::string text, uint32_t label) {
+      TokenRecord record;
+      record.tok_id = static_cast<int64_t>(corpus.tokens.size());
+      record.doc_id = doc_id;
+      record.text = std::move(text);
+      record.truth_label = label;
+      corpus.tokens.push_back(std::move(record));
+    };
+    while (corpus.tokens.size() - doc_begin < doc_len) {
+      if (rng.Bernoulli(options.entity_density)) {
+        // Emit a mention from the document's pool (repetition on purpose —
+        // this is what gives skip edges their correlations).
+        const Mention& m = pool.mentions[rng.UniformInt(pool.mentions.size())];
+        for (size_t i = 0; i < m.tokens.size(); ++i) {
+          emit(m.tokens[i],
+               i == 0 ? BeginLabel(m.type) : InsideLabel(m.type));
+        }
+      } else {
+        emit(BackgroundWords()[rng.UniformInt(BackgroundWords().size())],
+             kLabelO);
+      }
+    }
+    corpus.doc_ranges.emplace_back(doc_begin, corpus.tokens.size());
+    ++doc_id;
+  }
+  corpus.num_docs = static_cast<size_t>(doc_id);
+  return corpus;
+}
+
+}  // namespace ie
+}  // namespace fgpdb

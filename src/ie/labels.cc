@@ -1,0 +1,86 @@
+#include "ie/labels.h"
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace ie {
+namespace {
+
+const std::vector<std::string>& Names() {
+  static const auto* kNames = new std::vector<std::string>{
+      "O",     "B-PER", "I-PER",  "B-ORG", "I-ORG",
+      "B-LOC", "I-LOC", "B-MISC", "I-MISC"};
+  return *kNames;
+}
+
+}  // namespace
+
+const std::string& LabelName(uint32_t label) {
+  FGPDB_CHECK_LT(label, kNumLabels);
+  return Names()[label];
+}
+
+uint32_t LabelIndex(const std::string& name) {
+  for (uint32_t i = 0; i < kNumLabels; ++i) {
+    if (Names()[i] == name) return i;
+  }
+  FGPDB_FATAL() << "unknown label " << name;
+  return 0;
+}
+
+EntityType LabelType(uint32_t label) {
+  switch (label) {
+    case 0:
+      return EntityType::kNone;
+    case 1:
+    case 2:
+      return EntityType::kPer;
+    case 3:
+    case 4:
+      return EntityType::kOrg;
+    case 5:
+    case 6:
+      return EntityType::kLoc;
+    default:
+      return EntityType::kMisc;
+  }
+}
+
+bool IsBegin(uint32_t label) { return label != 0 && label % 2 == 1; }
+
+bool IsInside(uint32_t label) { return label != 0 && label % 2 == 0; }
+
+uint32_t BeginLabel(EntityType type) {
+  switch (type) {
+    case EntityType::kPer:
+      return 1;
+    case EntityType::kOrg:
+      return 3;
+    case EntityType::kLoc:
+      return 5;
+    case EntityType::kMisc:
+      return 7;
+    case EntityType::kNone:
+      break;
+  }
+  FGPDB_FATAL() << "no begin label for O";
+  return 0;
+}
+
+uint32_t InsideLabel(EntityType type) { return BeginLabel(type) + 1; }
+
+bool ValidTransition(uint32_t prev, uint32_t label) {
+  if (!IsInside(label)) return true;
+  return LabelType(prev) == LabelType(label) && prev != 0;
+}
+
+std::shared_ptr<const factor::Domain> LabelDomain() {
+  static const std::shared_ptr<const factor::Domain> kDomain =
+      std::make_shared<factor::Domain>(factor::Domain::OfStrings(Names()));
+  return kDomain;
+}
+
+const std::vector<std::string>& AllLabelNames() { return Names(); }
+
+}  // namespace ie
+}  // namespace fgpdb

@@ -1,0 +1,60 @@
+// CoNLL entity labels in BIO encoding (paper §5.1 / Appendix 9.3).
+//
+// Nine labels: O plus B-/I- for PER, ORG, LOC, MISC. B-<T> begins a mention
+// of type T, I-<T> continues one; I-<T> is only meaningful after B-<T> or
+// I-<T> of the same type.
+#ifndef FGPDB_IE_LABELS_H_
+#define FGPDB_IE_LABELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "factor/domain.h"
+
+namespace fgpdb {
+namespace ie {
+
+enum class EntityType { kNone = 0, kPer, kOrg, kLoc, kMisc };
+
+inline constexpr size_t kNumLabels = 9;
+
+/// Label indexes are stable: 0=O, then B-PER, I-PER, B-ORG, I-ORG, B-LOC,
+/// I-LOC, B-MISC, I-MISC.
+inline constexpr uint32_t kLabelO = 0;
+
+/// Label name for an index ("O", "B-PER", ...).
+const std::string& LabelName(uint32_t label);
+
+/// Index for a label name; fatal on unknown names.
+uint32_t LabelIndex(const std::string& name);
+
+/// Entity type of a label (kNone for O).
+EntityType LabelType(uint32_t label);
+
+/// True for B-* labels.
+bool IsBegin(uint32_t label);
+
+/// True for I-* labels.
+bool IsInside(uint32_t label);
+
+/// B-label index for a type; fatal for kNone.
+uint32_t BeginLabel(EntityType type);
+
+/// I-label index for a type; fatal for kNone.
+uint32_t InsideLabel(EntityType type);
+
+/// True if `label` may follow `prev` under BIO semantics (I-<T> requires a
+/// preceding B-<T> or I-<T>).
+bool ValidTransition(uint32_t prev, uint32_t label);
+
+/// The shared label domain (string values matching LabelName).
+std::shared_ptr<const factor::Domain> LabelDomain();
+
+/// All nine label names in index order.
+const std::vector<std::string>& AllLabelNames();
+
+}  // namespace ie
+}  // namespace fgpdb
+
+#endif  // FGPDB_IE_LABELS_H_

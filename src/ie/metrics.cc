@@ -1,0 +1,85 @@
+#include "ie/metrics.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "ie/labels.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace ie {
+namespace {
+
+// (start, end, type) mention spans decoded from a BIO sequence. An I-<T>
+// without a matching B-<T> opens a new mention (conventional lenient
+// decoding).
+std::set<std::tuple<size_t, size_t, int>> DecodeMentions(
+    const std::vector<uint32_t>& labels, const std::vector<size_t>& doc_starts) {
+  std::set<std::tuple<size_t, size_t, int>> mentions;
+  std::set<size_t> boundaries(doc_starts.begin(), doc_starts.end());
+  size_t start = 0;
+  EntityType open = EntityType::kNone;
+  auto close = [&](size_t end) {
+    if (open != EntityType::kNone) {
+      mentions.emplace(start, end, static_cast<int>(open));
+      open = EntityType::kNone;
+    }
+  };
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const uint32_t y = labels[i];
+    const bool at_boundary = boundaries.count(i) > 0;
+    if (at_boundary) close(i);
+    if (y == kLabelO) {
+      close(i);
+    } else if (IsBegin(y) || open != LabelType(y)) {
+      close(i);
+      open = LabelType(y);
+      start = i;
+    }
+    // Otherwise: I-<T> continuing the open mention of the same type.
+  }
+  close(labels.size());
+  return mentions;
+}
+
+}  // namespace
+
+NerScores ScoreBio(const std::vector<uint32_t>& predicted,
+                   const std::vector<uint32_t>& truth,
+                   const std::vector<size_t>& doc_starts) {
+  FGPDB_CHECK_EQ(predicted.size(), truth.size());
+  NerScores scores;
+  if (predicted.empty()) return scores;
+
+  uint64_t correct = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == truth[i]) ++correct;
+  }
+  scores.token_accuracy =
+      static_cast<double>(correct) / static_cast<double>(predicted.size());
+
+  const auto pred_mentions = DecodeMentions(predicted, doc_starts);
+  const auto true_mentions = DecodeMentions(truth, doc_starts);
+  scores.predicted_mentions = pred_mentions.size();
+  scores.truth_mentions = true_mentions.size();
+  for (const auto& m : pred_mentions) {
+    if (true_mentions.count(m) > 0) ++scores.matched_mentions;
+  }
+  scores.precision =
+      pred_mentions.empty()
+          ? 0.0
+          : static_cast<double>(scores.matched_mentions) / pred_mentions.size();
+  scores.recall =
+      true_mentions.empty()
+          ? 0.0
+          : static_cast<double>(scores.matched_mentions) / true_mentions.size();
+  scores.f1 = (scores.precision + scores.recall) == 0.0
+                  ? 0.0
+                  : 2.0 * scores.precision * scores.recall /
+                        (scores.precision + scores.recall);
+  return scores;
+}
+
+}  // namespace ie
+}  // namespace fgpdb

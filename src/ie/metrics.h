@@ -1,0 +1,35 @@
+// NER evaluation metrics: token accuracy and mention-level precision /
+// recall / F1 over BIO sequences.
+#ifndef FGPDB_IE_METRICS_H_
+#define FGPDB_IE_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fgpdb {
+namespace ie {
+using std::size_t;
+
+struct NerScores {
+  double token_accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  uint64_t predicted_mentions = 0;
+  uint64_t truth_mentions = 0;
+  uint64_t matched_mentions = 0;
+};
+
+/// Scores a predicted BIO label sequence against the truth. Mentions match
+/// when (start, end, type) agree exactly. Sequences are per-corpus; pass
+/// document boundaries via `doc_starts` (token indexes that begin a new
+/// document, so mentions cannot span documents).
+NerScores ScoreBio(const std::vector<uint32_t>& predicted,
+                   const std::vector<uint32_t>& truth,
+                   const std::vector<size_t>& doc_starts = {});
+
+}  // namespace ie
+}  // namespace fgpdb
+
+#endif  // FGPDB_IE_METRICS_H_

@@ -1,0 +1,43 @@
+#include "ie/ner_proposal.h"
+
+#include "ie/labels.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace ie {
+
+DocumentBatchProposal::DocumentBatchProposal(
+    const std::vector<std::vector<factor::VarId>>* docs,
+    NerProposalOptions options)
+    : docs_(docs), options_(options) {
+  FGPDB_CHECK(docs_ != nullptr);
+  FGPDB_CHECK(!docs_->empty());
+  FGPDB_CHECK_GT(options_.proposals_per_batch, 0u);
+  FGPDB_CHECK_GT(options_.docs_per_batch, 0u);
+}
+
+void DocumentBatchProposal::ReloadBatch(Rng& rng) {
+  batch_.clear();
+  for (size_t i = 0; i < options_.docs_per_batch; ++i) {
+    const auto& doc = (*docs_)[rng.UniformInt(docs_->size())];
+    batch_.insert(batch_.end(), doc.begin(), doc.end());
+  }
+  proposals_since_reload_ = 0;
+}
+
+factor::Change DocumentBatchProposal::Propose(const factor::World& /*world*/,
+                                              Rng& rng, double* log_ratio) {
+  *log_ratio = 0.0;
+  if (batch_.empty() || proposals_since_reload_ >= options_.proposals_per_batch) {
+    ReloadBatch(rng);
+  }
+  ++proposals_since_reload_;
+  factor::Change change;
+  const factor::VarId var = batch_[rng.UniformInt(batch_.size())];
+  const uint32_t label = static_cast<uint32_t>(rng.UniformInt(kNumLabels));
+  change.Set(var, label);
+  return change;
+}
+
+}  // namespace ie
+}  // namespace fgpdb

@@ -1,0 +1,253 @@
+#include "ie/skip_chain_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace ie {
+namespace {
+
+using factor::FeatureId;
+using factor::MakeFeatureId;
+using factor::VarId;
+
+FeatureId EmissionFeature(uint32_t string_id, uint32_t label) {
+  return MakeFeatureId("emission", string_id, label);
+}
+FeatureId TransitionFeature(uint32_t from, uint32_t to) {
+  return MakeFeatureId("transition", from, to);
+}
+FeatureId BiasFeature(uint32_t label) { return MakeFeatureId("bias", label); }
+// Skip features fire only when the two labels agree.
+FeatureId SkipSameFeature() { return MakeFeatureId("skip_same"); }
+FeatureId SkipSameLabelFeature(uint32_t label) {
+  return MakeFeatureId("skip_same_label", label);
+}
+
+bool IsCapitalized(const std::string& s) {
+  return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
+}
+
+}  // namespace
+
+SkipChainNerModel::SkipChainNerModel(const TokenPdb& tokens,
+                                     SkipChainOptions options)
+    : string_ids_(&tokens.string_ids), options_(options) {
+  const size_t n = tokens.num_tokens();
+  prev_.assign(n, kNoVar);
+  next_.assign(n, kNoVar);
+  skip_partners_.assign(n, {});
+
+  for (const auto& doc : tokens.docs) {
+    for (size_t i = 0; i + 1 < doc.size(); ++i) {
+      next_[doc[i]] = doc[i + 1];
+      prev_[doc[i + 1]] = doc[i];
+    }
+    if (!options_.use_skip_edges) continue;
+    // Group this document's capitalized tokens by string id.
+    std::unordered_map<uint32_t, std::vector<VarId>> groups;
+    for (VarId v : doc) {
+      const uint32_t sid = (*string_ids_)[v];
+      if (IsCapitalized(tokens.vocab.String(sid))) groups[sid].push_back(v);
+    }
+    for (const auto& [sid, group] : groups) {
+      (void)sid;
+      if (group.size() < 2) continue;
+      if (group.size() <= options_.max_skip_group) {
+        // All pairs, as in the paper's Figure 3.
+        for (size_t i = 0; i < group.size(); ++i) {
+          for (size_t j = i + 1; j < group.size(); ++j) {
+            skip_partners_[group[i]].push_back(group[j]);
+            skip_partners_[group[j]].push_back(group[i]);
+            ++num_skip_edges_;
+          }
+        }
+      } else {
+        // Bounded fallback: consecutive occurrences only.
+        for (size_t i = 0; i + 1 < group.size(); ++i) {
+          skip_partners_[group[i]].push_back(group[i + 1]);
+          skip_partners_[group[i + 1]].push_back(group[i]);
+          ++num_skip_edges_;
+        }
+      }
+    }
+  }
+}
+
+template <typename GetLabel>
+double SkipChainNerModel::NodeScore(VarId v, const GetLabel& get) const {
+  const uint32_t y = get(v);
+  return params_.Get(EmissionFeature((*string_ids_)[v], y)) +
+         params_.Get(BiasFeature(y));
+}
+
+template <typename GetLabel>
+double SkipChainNerModel::EdgeScore(VarId a, VarId b,
+                                    const GetLabel& get) const {
+  return params_.Get(TransitionFeature(get(a), get(b)));
+}
+
+template <typename GetLabel>
+double SkipChainNerModel::SkipScore(VarId a, VarId b,
+                                    const GetLabel& get) const {
+  const uint32_t ya = get(a);
+  if (ya != get(b)) return 0.0;
+  return params_.Get(SkipSameFeature()) +
+         params_.Get(SkipSameLabelFeature(ya));
+}
+
+SkipChainNerModel::TouchedFactors SkipChainNerModel::CollectTouched(
+    const factor::Change& change) const {
+  TouchedFactors touched;
+  auto add_edge = [&](VarId a, VarId b) {
+    if (a == kNoVar || b == kNoVar) return;
+    touched.edges.emplace_back(a, b);
+  };
+  for (const auto& assignment : change.assignments) {
+    const VarId v = assignment.var;
+    touched.nodes.push_back(v);
+    if (options_.use_transitions) {
+      add_edge(prev_[v], v);
+      add_edge(v, next_[v]);
+    }
+    for (VarId p : skip_partners_[v]) {
+      touched.skips.emplace_back(std::min(v, p), std::max(v, p));
+    }
+  }
+  // Deduplicate factors shared between changed variables (e.g. the edge
+  // between two adjacent changed tokens) so they are scored exactly once.
+  auto dedupe = [](auto& items) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+  };
+  dedupe(touched.nodes);
+  dedupe(touched.edges);
+  dedupe(touched.skips);
+  return touched;
+}
+
+double SkipChainNerModel::LogScoreDelta(const factor::World& world,
+                                        const factor::Change& change) const {
+  const TouchedFactors touched = CollectTouched(change);
+  const factor::PatchedWorld patched(world, change);
+  const auto old_label = [&](VarId v) { return world.Get(v); };
+  const auto new_label = [&](VarId v) { return patched.Get(v); };
+  double delta = 0.0;
+  for (VarId v : touched.nodes) {
+    delta += NodeScore(v, new_label) - NodeScore(v, old_label);
+  }
+  for (const auto& [a, b] : touched.edges) {
+    delta += EdgeScore(a, b, new_label) - EdgeScore(a, b, old_label);
+  }
+  for (const auto& [a, b] : touched.skips) {
+    delta += SkipScore(a, b, new_label) - SkipScore(a, b, old_label);
+  }
+  return delta;
+}
+
+double SkipChainNerModel::LogScore(const factor::World& world) const {
+  const auto label = [&](VarId v) { return world.Get(v); };
+  double total = 0.0;
+  const size_t n = num_variables();
+  for (size_t i = 0; i < n; ++i) {
+    const VarId v = static_cast<VarId>(i);
+    total += NodeScore(v, label);
+    if (options_.use_transitions && next_[v] != kNoVar) {
+      total += EdgeScore(v, next_[v], label);
+    }
+    for (VarId p : skip_partners_[v]) {
+      if (p > v) total += SkipScore(v, p, label);  // Count each pair once.
+    }
+  }
+  return total;
+}
+
+void SkipChainNerModel::FeatureDelta(const factor::World& world,
+                                     const factor::Change& change,
+                                     factor::SparseVector* out) const {
+  const TouchedFactors touched = CollectTouched(change);
+  const factor::PatchedWorld patched(world, change);
+  const auto old_label = [&](VarId v) { return world.Get(v); };
+  const auto new_label = [&](VarId v) { return patched.Get(v); };
+
+  for (VarId v : touched.nodes) {
+    const uint32_t sid = (*string_ids_)[v];
+    const uint32_t y_new = new_label(v);
+    const uint32_t y_old = old_label(v);
+    if (y_new == y_old) continue;
+    out->Add(EmissionFeature(sid, y_new), 1.0);
+    out->Add(BiasFeature(y_new), 1.0);
+    out->Add(EmissionFeature(sid, y_old), -1.0);
+    out->Add(BiasFeature(y_old), -1.0);
+  }
+  for (const auto& [a, b] : touched.edges) {
+    out->Add(TransitionFeature(new_label(a), new_label(b)), 1.0);
+    out->Add(TransitionFeature(old_label(a), old_label(b)), -1.0);
+  }
+  for (const auto& [a, b] : touched.skips) {
+    const uint32_t na = new_label(a);
+    if (na == new_label(b)) {
+      out->Add(SkipSameFeature(), 1.0);
+      out->Add(SkipSameLabelFeature(na), 1.0);
+    }
+    const uint32_t oa = old_label(a);
+    if (oa == old_label(b)) {
+      out->Add(SkipSameFeature(), -1.0);
+      out->Add(SkipSameLabelFeature(oa), -1.0);
+    }
+  }
+  out->Consolidate();
+}
+
+void SkipChainNerModel::InitializeFromCorpusStatistics(const TokenPdb& tokens,
+                                                       double skip_weight,
+                                                       double emission_scale) {
+  // Smoothed per-string label log-odds from the TRUTH column, plus label
+  // frequency biases and BIO-consistent transition preferences. This mimics
+  // what SampleRank converges to without spending bench time on training.
+  const double kSmoothing = 0.5;
+  std::unordered_map<uint64_t, double> counts;  // (string, label) -> count
+  std::vector<double> label_counts(kNumLabels, kSmoothing);
+  for (size_t i = 0; i < tokens.num_tokens(); ++i) {
+    const uint64_t key =
+        (static_cast<uint64_t>(tokens.string_ids[i]) << 8) | tokens.truth[i];
+    counts[key] += 1.0;
+    label_counts[tokens.truth[i]] += 1.0;
+  }
+  std::unordered_map<uint32_t, double> string_totals;
+  for (size_t i = 0; i < tokens.num_tokens(); ++i) {
+    string_totals[tokens.string_ids[i]] += 1.0;
+  }
+  for (const auto& [sid, total] : string_totals) {
+    for (uint32_t y = 0; y < kNumLabels; ++y) {
+      const auto it = counts.find((static_cast<uint64_t>(sid) << 8) | y);
+      const double c = (it == counts.end() ? 0.0 : it->second) + kSmoothing;
+      params_.Set(EmissionFeature(sid, y),
+                  emission_scale *
+                      (std::log(c / (total + kSmoothing * kNumLabels)) -
+                       std::log(kSmoothing /
+                                (total + kSmoothing * kNumLabels))));
+    }
+  }
+  double total_tokens = 0.0;
+  for (double c : label_counts) total_tokens += c;
+  for (uint32_t y = 0; y < kNumLabels; ++y) {
+    params_.Set(BiasFeature(y), std::log(label_counts[y] / total_tokens));
+  }
+  for (uint32_t a = 0; a < kNumLabels; ++a) {
+    for (uint32_t b = 0; b < kNumLabels; ++b) {
+      params_.Set(TransitionFeature(a, b), ValidTransition(a, b) ? 0.0 : -4.0);
+    }
+  }
+  params_.Set(SkipSameFeature(), skip_weight);
+  for (uint32_t y = 0; y < kNumLabels; ++y) {
+    params_.Set(SkipSameLabelFeature(y), y == kLabelO ? 0.0 : skip_weight);
+  }
+}
+
+}  // namespace ie
+}  // namespace fgpdb

@@ -1,0 +1,104 @@
+// Skip-chain conditional random field for NER (paper §5.1, Figure 3).
+//
+// Factor templates over the TOKEN relation's LABEL variables:
+//   emission:   ψ(string_i, y_i)          — string/label compatibility
+//   transition: ψ(y_i, y_{i+1})           — 1st-order Markov dependency
+//   bias:       ψ(y_i)                    — label frequency
+//   skip:       ψ(y_i, y_j) for same-string token pairs within a document
+//               (capitalized strings only, following Sutton & McCallum) —
+//               this is what makes the graph loopy and exact inference
+//               intractable, the paper's central difficulty.
+//
+// The model is *templated*: no factor objects are instantiated. Score and
+// feature deltas are computed lazily from the variables a Change touches
+// (paper §3.4 / Appendix 9.2), so an MH step costs O(1) w.r.t. corpus size.
+#ifndef FGPDB_IE_SKIP_CHAIN_MODEL_H_
+#define FGPDB_IE_SKIP_CHAIN_MODEL_H_
+
+#include <vector>
+
+#include "factor/model.h"
+#include "ie/token_pdb.h"
+
+namespace fgpdb {
+namespace ie {
+
+struct SkipChainOptions {
+  /// Include skip factors (false = plain linear-chain CRF; the ablation of
+  /// DESIGN.md and the tractable baseline for exact-inference tests).
+  bool use_skip_edges = true;
+  /// Include transition factors.
+  bool use_transitions = true;
+  /// Skip groups larger than this fall back to consecutive-occurrence
+  /// chaining to bound the quadratic pair count.
+  size_t max_skip_group = 24;
+};
+
+class SkipChainNerModel final : public factor::FeatureModel {
+ public:
+  /// The model keeps pointers into `tokens` (string ids, doc structure);
+  /// `tokens` must outlive the model. Thread-safe for concurrent scoring
+  /// once constructed (parameters are read-only during inference).
+  SkipChainNerModel(const TokenPdb& tokens, SkipChainOptions options = {});
+
+  // --- factor::Model --------------------------------------------------------
+  double LogScoreDelta(const factor::World& world,
+                       const factor::Change& change) const override;
+  double LogScore(const factor::World& world) const override;
+  size_t num_variables() const override { return string_ids_->size(); }
+  size_t domain_size(factor::VarId) const override { return kNumLabels; }
+
+  // --- factor::FeatureModel --------------------------------------------------
+  void FeatureDelta(const factor::World& world, const factor::Change& change,
+                    factor::SparseVector* out) const override;
+  factor::Parameters& parameters() override { return params_; }
+  const factor::Parameters& parameters() const override { return params_; }
+
+  /// Skip partners of a variable (same-document, same-string tokens).
+  const std::vector<factor::VarId>& SkipPartners(factor::VarId var) const {
+    return skip_partners_.at(var);
+  }
+
+  /// Number of skip edges instantiated (diagnostics; each edge counted once).
+  size_t num_skip_edges() const { return num_skip_edges_; }
+
+  /// Seeds emission/bias/transition weights from simple corpus statistics
+  /// (log-odds of TRUTH labels). Gives a usable model without running
+  /// SampleRank — benches use this to skip training time.
+  void InitializeFromCorpusStatistics(const TokenPdb& tokens,
+                                      double skip_weight = 1.0,
+                                      double emission_scale = 2.0);
+
+ private:
+  static constexpr factor::VarId kNoVar = ~0u;
+
+  // Per-factor log scores under a label accessor.
+  template <typename GetLabel>
+  double NodeScore(factor::VarId v, const GetLabel& get) const;
+  template <typename GetLabel>
+  double EdgeScore(factor::VarId a, factor::VarId b, const GetLabel& get) const;
+  template <typename GetLabel>
+  double SkipScore(factor::VarId a, factor::VarId b, const GetLabel& get) const;
+
+  // Enumerates the factor instances touched by `change`, deduplicated:
+  // nodes, chain edges, skip edges.
+  struct TouchedFactors {
+    std::vector<factor::VarId> nodes;
+    std::vector<std::pair<factor::VarId, factor::VarId>> edges;
+    std::vector<std::pair<factor::VarId, factor::VarId>> skips;
+  };
+  TouchedFactors CollectTouched(const factor::Change& change) const;
+
+  const std::vector<uint32_t>* string_ids_;
+  SkipChainOptions options_;
+  factor::Parameters params_;
+  std::vector<factor::VarId> prev_;
+  std::vector<factor::VarId> next_;
+  std::vector<std::vector<factor::VarId>> skip_partners_;
+  size_t num_skip_edges_ = 0;
+};
+
+}  // namespace ie
+}  // namespace fgpdb
+
+#endif  // FGPDB_IE_SKIP_CHAIN_MODEL_H_

@@ -1,0 +1,51 @@
+#include "ie/token_pdb.h"
+
+#include "ie/labels.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace ie {
+
+TokenPdb BuildTokenPdb(const SyntheticCorpus& corpus) {
+  TokenPdb out;
+  out.pdb = std::make_unique<pdb::ProbabilisticDatabase>();
+  Database& db = out.pdb->db();
+
+  Schema schema(
+      {
+          Attribute{"TOK_ID", ValueType::kInt64},
+          Attribute{"DOC_ID", ValueType::kInt64},
+          Attribute{"STRING", ValueType::kString},
+          Attribute{"LABEL", ValueType::kString},
+          Attribute{"TRUTH", ValueType::kString},
+      },
+      /*primary_key=*/kColTokId);
+  Table* table = db.CreateTable(kTokenTable, std::move(schema));
+
+  const auto label_domain = LabelDomain();
+  out.string_ids.reserve(corpus.tokens.size());
+  out.truth.reserve(corpus.tokens.size());
+  out.docs.resize(corpus.num_docs);
+
+  for (const TokenRecord& record : corpus.tokens) {
+    const RowId row = table->Insert(Tuple{
+        Value::Int(record.tok_id),
+        Value::Int(record.doc_id),
+        Value::String(record.text),
+        Value::String(LabelName(kLabelO)),  // §5.1: LABEL initialized to O.
+        Value::String(LabelName(record.truth_label)),
+    });
+    const factor::VarId var =
+        out.pdb->binding().Bind(kTokenTable, row, kColLabel, label_domain);
+    FGPDB_CHECK_EQ(static_cast<int64_t>(var), record.tok_id)
+        << "variable ids must align with TOK_ID";
+    out.string_ids.push_back(out.vocab.Intern(record.text));
+    out.truth.push_back(record.truth_label);
+    out.docs.at(static_cast<size_t>(record.doc_id)).push_back(var);
+  }
+  out.pdb->SyncWorldFromDatabase();
+  return out;
+}
+
+}  // namespace ie
+}  // namespace fgpdb

@@ -1,0 +1,54 @@
+// Builds the paper's TOKEN relation and probabilistic database from a
+// corpus (§5.1):
+//
+//   TOKEN(TOK_ID primary key, DOC_ID, STRING, LABEL, TRUTH)
+//
+// LABEL is the uncertain attribute: every LABEL field becomes a hidden
+// random variable over the nine BIO labels, initialized to 'O' exactly as
+// in the paper. STRING/DOC_ID/TRUTH are observed.
+#ifndef FGPDB_IE_TOKEN_PDB_H_
+#define FGPDB_IE_TOKEN_PDB_H_
+
+#include <memory>
+#include <vector>
+
+#include "ie/corpus.h"
+#include "ie/vocabulary.h"
+#include "pdb/probabilistic_database.h"
+
+namespace fgpdb {
+namespace ie {
+
+inline constexpr const char* kTokenTable = "TOKEN";
+inline constexpr size_t kColTokId = 0;
+inline constexpr size_t kColDocId = 1;
+inline constexpr size_t kColString = 2;
+inline constexpr size_t kColLabel = 3;
+inline constexpr size_t kColTruth = 4;
+
+struct TokenPdb {
+  std::unique_ptr<pdb::ProbabilisticDatabase> pdb;
+
+  /// Interned token strings; string_ids[v] is variable v's token string.
+  Vocabulary vocab;
+  std::vector<uint32_t> string_ids;
+
+  /// Ground-truth label index per variable (the TRUTH column).
+  std::vector<uint32_t> truth;
+
+  /// Document structure: docs[d] lists the variable ids of document d's
+  /// tokens in sequence order. Variable v == token index == TOK_ID.
+  std::vector<std::vector<factor::VarId>> docs;
+
+  size_t num_tokens() const { return string_ids.size(); }
+};
+
+/// Loads `corpus` into a fresh ProbabilisticDatabase. All LABEL fields are
+/// bound as hidden variables initialized to "O" (the paper's
+/// initialization); TRUTH holds the reference labels.
+TokenPdb BuildTokenPdb(const SyntheticCorpus& corpus);
+
+}  // namespace ie
+}  // namespace fgpdb
+
+#endif  // FGPDB_IE_TOKEN_PDB_H_

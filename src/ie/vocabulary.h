@@ -1,0 +1,52 @@
+// String interner: token strings -> dense ids, shared by the corpus
+// generator and the NER feature templates (emission features key on the
+// interned id, not the raw string).
+#ifndef FGPDB_IE_VOCABULARY_H_
+#define FGPDB_IE_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace ie {
+
+class Vocabulary {
+ public:
+  /// Returns the id of `token`, interning it if new.
+  uint32_t Intern(const std::string& token) {
+    const auto it = ids_.find(token);
+    if (it != ids_.end()) return it->second;
+    const uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.push_back(token);
+    ids_.emplace(token, id);
+    return id;
+  }
+
+  /// Id of `token` if already interned; fatal otherwise.
+  uint32_t Require(const std::string& token) const {
+    const auto it = ids_.find(token);
+    FGPDB_CHECK(it != ids_.end()) << "unknown token " << token;
+    return it->second;
+  }
+
+  /// True if `token` is interned.
+  bool Contains(const std::string& token) const {
+    return ids_.count(token) > 0;
+  }
+
+  const std::string& String(uint32_t id) const { return strings_.at(id); }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace ie
+}  // namespace fgpdb
+
+#endif  // FGPDB_IE_VOCABULARY_H_

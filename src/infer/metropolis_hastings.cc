@@ -1,0 +1,52 @@
+#include "infer/metropolis_hastings.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace infer {
+
+MetropolisHastings::MetropolisHastings(const factor::Model& model,
+                                       factor::World* world,
+                                       Proposal* proposal, uint64_t seed)
+    : model_(model), world_(world), proposal_(proposal), rng_(seed) {
+  FGPDB_CHECK(world_ != nullptr);
+  FGPDB_CHECK(proposal_ != nullptr);
+}
+
+bool MetropolisHastings::Step() {
+  ++num_proposed_;
+  double log_proposal_ratio = 0.0;
+  const factor::Change change =
+      proposal_->Propose(*world_, rng_, &log_proposal_ratio);
+  if (change.empty()) {
+    // Self-transition: counted as accepted (the chain stays put).
+    ++num_accepted_;
+    return true;
+  }
+  const double log_model_ratio = model_.LogScoreDelta(*world_, change);
+  const double log_alpha = log_model_ratio + log_proposal_ratio;
+  bool accept = log_alpha >= 0.0;
+  if (!accept) accept = rng_.Uniform() < std::exp(log_alpha);
+  if (!accept) return false;
+
+  applied_scratch_.clear();
+  world_->Apply(change, &applied_scratch_);
+  // Drop no-op assignments (value unchanged) before notifying listeners so
+  // delta buffers only see real modifications.
+  auto& applied = applied_scratch_;
+  applied.erase(std::remove_if(applied.begin(), applied.end(),
+                               [](const factor::AppliedAssignment& a) {
+                                 return a.old_value == a.new_value;
+                               }),
+                applied.end());
+  ++num_accepted_;
+  if (!applied.empty()) {
+    for (const auto& listener : listeners_) listener(applied);
+  }
+  return true;
+}
+
+}  // namespace infer
+}  // namespace fgpdb

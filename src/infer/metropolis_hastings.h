@@ -1,0 +1,72 @@
+// Metropolis–Hastings random walk (paper §3.4, Algorithm 2).
+//
+// Each Step() draws w' ~ q(·|w), computes the acceptance probability
+//
+//   α(w', w) = min(1, [π(w')/π(w)] · [q(w|w')/q(w'|w)])     (Eq. 3)
+//
+// from the *local* factor delta (Appendix 9.2 — ZX and untouched factors
+// cancel), and on acceptance applies the change to the world and notifies
+// listeners. The pdb layer registers a listener that mirrors accepted
+// changes into the relational tables and the Δ−/Δ+ buffers.
+#ifndef FGPDB_INFER_METROPOLIS_HASTINGS_H_
+#define FGPDB_INFER_METROPOLIS_HASTINGS_H_
+
+#include <functional>
+#include <vector>
+
+#include "factor/model.h"
+#include "infer/proposal.h"
+#include "util/rng.h"
+
+namespace fgpdb {
+namespace infer {
+
+class MetropolisHastings {
+ public:
+  /// Listener invoked after an accepted change is applied to the world.
+  using Listener =
+      std::function<void(const std::vector<factor::AppliedAssignment>&)>;
+
+  MetropolisHastings(const factor::Model& model, factor::World* world,
+                     Proposal* proposal, uint64_t seed = 1);
+
+  /// Registers a post-acceptance listener.
+  void AddListener(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// One propose/accept-or-reject transition. Returns true on acceptance.
+  bool Step();
+
+  /// Runs `n` transitions (Algorithm 2's random walk).
+  void Run(size_t n) {
+    for (size_t i = 0; i < n; ++i) Step();
+  }
+
+  uint64_t num_proposed() const { return num_proposed_; }
+  uint64_t num_accepted() const { return num_accepted_; }
+  double acceptance_rate() const {
+    return num_proposed_ == 0
+               ? 0.0
+               : static_cast<double>(num_accepted_) /
+                     static_cast<double>(num_proposed_);
+  }
+
+  factor::World& world() { return *world_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  const factor::Model& model_;
+  factor::World* world_;
+  Proposal* proposal_;
+  Rng rng_;
+  std::vector<Listener> listeners_;
+  std::vector<factor::AppliedAssignment> applied_scratch_;
+  uint64_t num_proposed_ = 0;
+  uint64_t num_accepted_ = 0;
+};
+
+}  // namespace infer
+}  // namespace fgpdb
+
+#endif  // FGPDB_INFER_METROPOLIS_HASTINGS_H_

@@ -1,0 +1,46 @@
+#include "infer/proposal.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace fgpdb {
+namespace infer {
+
+factor::Change GibbsProposal::Propose(const factor::World& world, Rng& rng,
+                                      double* log_ratio) {
+  *log_ratio = 0.0;
+  factor::Change change;
+  if (model_.num_variables() == 0) return change;
+  const auto var =
+      static_cast<factor::VarId>(rng.UniformInt(model_.num_variables()));
+  const size_t k = model_.domain_size(var);
+  const uint32_t old_value = world.Get(var);
+
+  // Conditional log-weights: delta of moving var to each candidate value
+  // (the current value has delta 0 by definition).
+  std::vector<double> log_weights(k);
+  for (uint32_t v = 0; v < k; ++v) {
+    if (v == old_value) {
+      log_weights[v] = 0.0;
+      continue;
+    }
+    factor::Change candidate;
+    candidate.Set(var, v);
+    log_weights[v] = model_.LogScoreDelta(world, candidate);
+  }
+  const uint32_t new_value = static_cast<uint32_t>(rng.LogCategorical(log_weights));
+
+  // q(w'|w) = p(new | rest), q(w|w') = p(old | rest); the correction
+  // cancels the model ratio so acceptance is exactly 1.
+  const double lse = LogSumExp(log_weights);
+  const double log_q_forward = log_weights[new_value] - lse;
+  const double log_q_backward = log_weights[old_value] - lse;
+  *log_ratio = log_q_backward - log_q_forward;
+
+  if (new_value != old_value) change.Set(var, new_value);
+  return change;
+}
+
+}  // namespace infer
+}  // namespace fgpdb

@@ -1,0 +1,67 @@
+// Proposal distributions q(·|w) for Metropolis–Hastings (paper §3.4).
+//
+// A proposal hypothesizes a Change to the current world. Constraint-
+// preserving proposals (like split-merge for entity resolution) keep the
+// chain inside the feasible region without deterministic constraint factors.
+#ifndef FGPDB_INFER_PROPOSAL_H_
+#define FGPDB_INFER_PROPOSAL_H_
+
+#include "factor/model.h"
+#include "factor/world.h"
+#include "util/rng.h"
+
+namespace fgpdb {
+namespace infer {
+
+class Proposal {
+ public:
+  virtual ~Proposal() = default;
+
+  /// Draws w' ~ q(·|w). `log_ratio` receives log q(w|w') − log q(w'|w)
+  /// (0 for symmetric proposals). An empty Change is a self-transition.
+  virtual factor::Change Propose(const factor::World& world, Rng& rng,
+                                 double* log_ratio) = 0;
+};
+
+/// The generic symmetric kernel: pick a variable uniformly, pick a new value
+/// uniformly from its domain (paper §5.1 uses exactly this over labels).
+class UniformSingleVariableProposal final : public Proposal {
+ public:
+  explicit UniformSingleVariableProposal(const factor::Model& model)
+      : model_(model) {}
+
+  factor::Change Propose(const factor::World& /*world*/, Rng& rng,
+                         double* log_ratio) override {
+    *log_ratio = 0.0;
+    factor::Change change;
+    if (model_.num_variables() == 0) return change;
+    const auto var =
+        static_cast<factor::VarId>(rng.UniformInt(model_.num_variables()));
+    const uint32_t value =
+        static_cast<uint32_t>(rng.UniformInt(model_.domain_size(var)));
+    change.Set(var, value);
+    return change;
+  }
+
+ private:
+  const factor::Model& model_;
+};
+
+/// Gibbs move expressed as an MH proposal: resamples one uniformly chosen
+/// variable from its full conditional. The proposal-ratio correction makes
+/// the MH acceptance probability exactly 1, so the chain never rejects.
+class GibbsProposal final : public Proposal {
+ public:
+  explicit GibbsProposal(const factor::Model& model) : model_(model) {}
+
+  factor::Change Propose(const factor::World& world, Rng& rng,
+                         double* log_ratio) override;
+
+ private:
+  const factor::Model& model_;
+};
+
+}  // namespace infer
+}  // namespace fgpdb
+
+#endif  // FGPDB_INFER_PROPOSAL_H_

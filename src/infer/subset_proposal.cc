@@ -1,0 +1,27 @@
+#include "infer/subset_proposal.h"
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace infer {
+
+SubsetUniformProposal::SubsetUniformProposal(
+    const factor::Model& model, std::vector<factor::VarId> variables)
+    : model_(model), variables_(std::move(variables)) {
+  FGPDB_CHECK(!variables_.empty()) << "empty proposal subset";
+  for (factor::VarId v : variables_) {
+    FGPDB_CHECK_LT(v, model_.num_variables());
+  }
+}
+
+factor::Change SubsetUniformProposal::Propose(const factor::World& /*world*/,
+                                              Rng& rng, double* log_ratio) {
+  *log_ratio = 0.0;  // Symmetric within the subset.
+  factor::Change change;
+  const factor::VarId var = variables_[rng.UniformInt(variables_.size())];
+  change.Set(var, static_cast<uint32_t>(rng.UniformInt(model_.domain_size(var))));
+  return change;
+}
+
+}  // namespace infer
+}  // namespace fgpdb

@@ -1,0 +1,62 @@
+// Training objectives for SampleRank: a performance measure over worlds
+// whose *delta* under a hypothesized change is cheap to compute.
+#ifndef FGPDB_LEARN_OBJECTIVE_H_
+#define FGPDB_LEARN_OBJECTIVE_H_
+
+#include <vector>
+
+#include "factor/world.h"
+
+namespace fgpdb {
+namespace learn {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  /// objective(w ⊕ change) − objective(w). Positive means the change moves
+  /// the world toward the ground truth.
+  virtual double Delta(const factor::World& world,
+                       const factor::Change& change) const = 0;
+
+  /// Absolute objective of a world (diagnostics; may be O(#vars)).
+  virtual double Score(const factor::World& world) const = 0;
+};
+
+/// Token-level accuracy against per-variable ground-truth value indexes —
+/// the natural objective for NER label variables (paper §5.2 trains with
+/// SampleRank against the TRUTH column).
+class LabelAccuracyObjective final : public Objective {
+ public:
+  explicit LabelAccuracyObjective(std::vector<uint32_t> truth)
+      : truth_(std::move(truth)) {}
+
+  double Delta(const factor::World& world,
+               const factor::Change& change) const override {
+    double delta = 0.0;
+    for (const auto& a : change.assignments) {
+      const uint32_t truth = truth_.at(a.var);
+      const uint32_t old_value = world.Get(a.var);
+      delta += (a.value == truth ? 1.0 : 0.0) - (old_value == truth ? 1.0 : 0.0);
+    }
+    return delta;
+  }
+
+  double Score(const factor::World& world) const override {
+    double correct = 0.0;
+    for (size_t v = 0; v < truth_.size(); ++v) {
+      if (world.Get(static_cast<factor::VarId>(v)) == truth_[v]) correct += 1.0;
+    }
+    return correct;
+  }
+
+  const std::vector<uint32_t>& truth() const { return truth_; }
+
+ private:
+  std::vector<uint32_t> truth_;
+};
+
+}  // namespace learn
+}  // namespace fgpdb
+
+#endif  // FGPDB_LEARN_OBJECTIVE_H_

@@ -1,0 +1,78 @@
+#include "learn/samplerank.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace learn {
+
+SampleRank::SampleRank(factor::FeatureModel* model, infer::Proposal* proposal,
+                       const Objective* objective, SampleRankOptions options)
+    : model_(model),
+      proposal_(proposal),
+      objective_(objective),
+      options_(options),
+      rng_(options.seed) {
+  FGPDB_CHECK(model_ != nullptr);
+  FGPDB_CHECK(proposal_ != nullptr);
+  FGPDB_CHECK(objective_ != nullptr);
+}
+
+SampleRankStats SampleRank::Train(factor::World* world, uint64_t steps) {
+  FGPDB_CHECK(world != nullptr);
+  SampleRankStats stats;
+  factor::SparseVector delta_features;
+  for (uint64_t i = 0; i < steps; ++i) {
+    ++stats.proposals;
+    double log_ratio = 0.0;
+    const factor::Change change = proposal_->Propose(*world, rng_, &log_ratio);
+    if (change.empty()) continue;
+
+    const double objective_delta = objective_->Delta(*world, change);
+    delta_features.Clear();
+    model_->FeatureDelta(*world, change, &delta_features);
+    const double model_delta = model_->parameters().Dot(delta_features);
+
+    // Perceptron step on rank disagreement (margin 0).
+    if (objective_delta > 0.0 && model_delta <= 0.0) {
+      model_->parameters().UpdateSparse(delta_features,
+                                        options_.learning_rate);
+      ++stats.updates;
+    } else if (objective_delta < 0.0 && model_delta >= 0.0) {
+      model_->parameters().UpdateSparse(delta_features,
+                                        -options_.learning_rate);
+      ++stats.updates;
+    }
+
+    // Advance the training walk.
+    bool accept = false;
+    switch (options_.walk_policy) {
+      case SampleRankOptions::WalkPolicy::kFollowObjective:
+        // Hill-climb the objective; break ties with the (updated) model.
+        if (objective_delta > 0.0) {
+          accept = true;
+        } else if (objective_delta == 0.0) {
+          const double updated_model_delta =
+              model_->parameters().Dot(delta_features);
+          accept = updated_model_delta > 0.0 || rng_.Bernoulli(0.5);
+        }
+        break;
+      case SampleRankOptions::WalkPolicy::kFollowModel: {
+        const double updated_model_delta =
+            model_->parameters().Dot(delta_features);
+        const double log_alpha = updated_model_delta + log_ratio;
+        accept = log_alpha >= 0.0 || rng_.Uniform() < std::exp(log_alpha);
+        break;
+      }
+    }
+    if (accept) {
+      world->Apply(change);
+      ++stats.accepted;
+    }
+  }
+  return stats;
+}
+
+}  // namespace learn
+}  // namespace fgpdb

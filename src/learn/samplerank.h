@@ -1,0 +1,58 @@
+// SampleRank (Wick et al., 2009; paper §5.2): online parameter learning
+// from atomic MCMC gradients.
+//
+// For every proposed jump w -> w', SampleRank compares the model's ranking
+// of the pair (θ·Δφ) with the objective's ranking (accuracy delta). On
+// disagreement it takes a perceptron step on the *local* feature delta —
+// which is why it "learns all parameters in a matter of minutes" (§5.2):
+// each update touches only the features of the factors the jump changed.
+#ifndef FGPDB_LEARN_SAMPLERANK_H_
+#define FGPDB_LEARN_SAMPLERANK_H_
+
+#include <cstdint>
+
+#include "factor/model.h"
+#include "infer/proposal.h"
+#include "learn/objective.h"
+#include "util/rng.h"
+
+namespace fgpdb {
+namespace learn {
+
+struct SampleRankOptions {
+  double learning_rate = 1.0;
+  uint64_t seed = 7;
+  /// How the training walk moves after each update:
+  /// follow the objective (stay near truth) or follow the model (MH).
+  enum class WalkPolicy { kFollowObjective, kFollowModel };
+  WalkPolicy walk_policy = WalkPolicy::kFollowObjective;
+};
+
+struct SampleRankStats {
+  uint64_t proposals = 0;
+  uint64_t updates = 0;      // Perceptron steps taken (rank disagreements).
+  uint64_t accepted = 0;     // Walk transitions taken.
+};
+
+class SampleRank {
+ public:
+  SampleRank(factor::FeatureModel* model, infer::Proposal* proposal,
+             const Objective* objective, SampleRankOptions options = {});
+
+  /// Runs `steps` proposals of training from the given world (mutated).
+  SampleRankStats Train(factor::World* world, uint64_t steps);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  factor::FeatureModel* model_;
+  infer::Proposal* proposal_;
+  const Objective* objective_;
+  SampleRankOptions options_;
+  Rng rng_;
+};
+
+}  // namespace learn
+}  // namespace fgpdb
+
+#endif  // FGPDB_LEARN_SAMPLERANK_H_

@@ -1,0 +1,90 @@
+#include "pdb/aggregate_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace pdb {
+
+AggregateDistribution::AggregateDistribution(const QueryAnswer& answer,
+                                             size_t column) {
+  for (const auto& [tuple, probability] : answer.Sorted()) {
+    FGPDB_CHECK_LT(column, tuple.arity())
+        << "aggregate answer tuple too narrow";
+    values_.emplace_back(tuple.at(column).AsNumeric(), probability);
+  }
+  std::sort(values_.begin(), values_.end());
+  for (const auto& [value, mass] : values_) {
+    mean_ += value * mass;
+    total_mass_ += mass;
+  }
+  // Normalize: answers track P(value observed in a sample); for aggregate
+  // queries exactly one value occurs per sample, so masses already sum to
+  // ~1, but guard against duplicate-free drift.
+  if (total_mass_ > 0.0) mean_ /= total_mass_;
+  for (const auto& [value, mass] : values_) {
+    variance_ += (value - mean_) * (value - mean_) * mass;
+  }
+  if (total_mass_ > 0.0) variance_ /= total_mass_;
+}
+
+double AggregateDistribution::StdDev() const { return std::sqrt(variance_); }
+
+double AggregateDistribution::Mode() const {
+  FGPDB_CHECK(!values_.empty());
+  double best_value = values_.front().first;
+  double best_mass = values_.front().second;
+  for (const auto& [value, mass] : values_) {
+    if (mass > best_mass) {
+      best_mass = mass;
+      best_value = value;
+    }
+  }
+  return best_value;
+}
+
+double AggregateDistribution::Quantile(double q) const {
+  FGPDB_CHECK(!values_.empty());
+  FGPDB_CHECK_GE(q, 0.0);
+  FGPDB_CHECK_LE(q, 1.0);
+  const double target = q * total_mass_;
+  double cum = 0.0;
+  for (const auto& [value, mass] : values_) {
+    cum += mass;
+    if (cum >= target) return value;
+  }
+  return values_.back().first;
+}
+
+double AggregateDistribution::MassWithin(double radius) const {
+  double mass = 0.0;
+  for (const auto& [value, m] : values_) {
+    if (std::abs(value - mean_) <= radius) mass += m;
+  }
+  return total_mass_ > 0.0 ? mass / total_mass_ : 0.0;
+}
+
+std::vector<AggregateDistribution::HistogramBin>
+AggregateDistribution::Histogram(size_t bins) const {
+  FGPDB_CHECK_GT(bins, 0u);
+  std::vector<HistogramBin> out(bins);
+  if (values_.empty()) return out;
+  const double lo = values_.front().first;
+  const double hi = values_.back().first;
+  const double width = std::max((hi - lo) / static_cast<double>(bins), 1e-12);
+  for (size_t b = 0; b < bins; ++b) {
+    out[b].lo = lo + static_cast<double>(b) * width;
+    out[b].hi = lo + static_cast<double>(b + 1) * width;
+  }
+  for (const auto& [value, mass] : values_) {
+    size_t b = static_cast<size_t>((value - lo) / width);
+    if (b >= bins) b = bins - 1;
+    out[b].mass += mass;
+  }
+  return out;
+}
+
+}  // namespace pdb
+}  // namespace fgpdb

@@ -1,0 +1,68 @@
+// Summaries of aggregate query answers (paper §5.5 / Figure 7).
+//
+// The answer to an aggregate query under possible-worlds semantics is a
+// *distribution over values* — each sampled world contributes one value.
+// AggregateDistribution turns a QueryAnswer whose tuples are single numeric
+// values into the statistics the paper reports: mean, spread, mode,
+// concentration, and a histogram.
+#ifndef FGPDB_PDB_AGGREGATE_DISTRIBUTION_H_
+#define FGPDB_PDB_AGGREGATE_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdb/query_evaluator.h"
+
+namespace fgpdb {
+namespace pdb {
+
+class AggregateDistribution {
+ public:
+  /// Builds from an answer whose tuples have one numeric column (e.g.
+  /// Query 2's COUNT). Fatal if any tuple has a different shape. `column`
+  /// selects the value column for multi-column answers.
+  explicit AggregateDistribution(const QueryAnswer& answer, size_t column = 0);
+
+  bool empty() const { return values_.empty(); }
+  size_t support_size() const { return values_.size(); }
+
+  double Mean() const { return mean_; }
+  double Variance() const { return variance_; }
+  double StdDev() const;
+
+  /// Most probable value.
+  double Mode() const;
+
+  /// Smallest value v such that P(X <= v) >= q, for q in [0, 1].
+  double Quantile(double q) const;
+
+  /// Probability mass within `radius` of the mean (the paper's
+  /// concentration-of-measure observation).
+  double MassWithin(double radius) const;
+
+  struct HistogramBin {
+    double lo = 0.0;
+    double hi = 0.0;  // Exclusive except for the last bin.
+    double mass = 0.0;
+  };
+
+  /// Equal-width histogram over the observed support.
+  std::vector<HistogramBin> Histogram(size_t bins) const;
+
+  /// The (value, probability) support, sorted by value.
+  const std::vector<std::pair<double, double>>& support() const {
+    return values_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> values_;  // Sorted by value.
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+  double total_mass_ = 0.0;
+};
+
+}  // namespace pdb
+}  // namespace fgpdb
+
+#endif  // FGPDB_PDB_AGGREGATE_DISTRIBUTION_H_

@@ -1,0 +1,58 @@
+#include "pdb/parallel_evaluator.h"
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace fgpdb {
+namespace pdb {
+
+QueryAnswer EvaluateParallel(const ProbabilisticDatabase& pdb,
+                             const ra::PlanNode& plan,
+                             const ProposalFactory& make_proposal,
+                             const ParallelOptions& options) {
+  FGPDB_CHECK_GT(options.num_chains, 0u);
+
+  struct Chain {
+    std::unique_ptr<ProbabilisticDatabase> world;
+    std::unique_ptr<infer::Proposal> proposal;
+    std::unique_ptr<QueryEvaluator> evaluator;
+  };
+  std::vector<Chain> chains(options.num_chains);
+  for (size_t b = 0; b < options.num_chains; ++b) {
+    Chain& chain = chains[b];
+    chain.world = pdb.Clone();
+    chain.proposal = make_proposal(*chain.world);
+    EvaluatorOptions chain_options = options.chain_options;
+    // Decorrelate chains: each gets its own seed stream.
+    chain_options.seed =
+        options.chain_options.seed + 0x9e3779b97f4a7c15ULL * (b + 1);
+    if (options.materialized) {
+      chain.evaluator = std::make_unique<MaterializedQueryEvaluator>(
+          chain.world.get(), chain.proposal.get(), &plan, chain_options);
+    } else {
+      chain.evaluator = std::make_unique<NaiveQueryEvaluator>(
+          chain.world.get(), chain.proposal.get(), &plan, chain_options);
+    }
+  }
+
+  auto run_chain = [&](size_t b) {
+    chains[b].evaluator->Run(options.samples_per_chain);
+  };
+
+  if (options.use_threads && options.num_chains > 1) {
+    ThreadPool pool(options.num_chains);
+    for (size_t b = 0; b < options.num_chains; ++b) {
+      pool.Submit([&, b] { run_chain(b); });
+    }
+    pool.Wait();
+  } else {
+    for (size_t b = 0; b < options.num_chains; ++b) run_chain(b);
+  }
+
+  QueryAnswer merged;
+  for (const Chain& chain : chains) merged.Merge(chain.evaluator->answer());
+  return merged;
+}
+
+}  // namespace pdb
+}  // namespace fgpdb

@@ -1,0 +1,27 @@
+#include "pdb/probabilistic_database.h"
+
+namespace fgpdb {
+namespace pdb {
+
+std::unique_ptr<infer::MetropolisHastings> ProbabilisticDatabase::MakeSampler(
+    infer::Proposal* proposal, uint64_t seed) {
+  auto sampler = std::make_unique<infer::MetropolisHastings>(model(), &world_,
+                                                             proposal, seed);
+  sampler->AddListener(
+      [this](const std::vector<factor::AppliedAssignment>& applied) {
+        binding_.ApplyToDatabase(applied, db_.get(), &pending_deltas_);
+      });
+  return sampler;
+}
+
+std::unique_ptr<ProbabilisticDatabase> ProbabilisticDatabase::Clone() const {
+  auto copy = std::make_unique<ProbabilisticDatabase>();
+  copy->db_ = db_->Clone();
+  copy->binding_ = binding_;
+  copy->world_ = world_;
+  copy->model_ = model_;
+  return copy;
+}
+
+}  // namespace pdb
+}  // namespace fgpdb

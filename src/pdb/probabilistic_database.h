@@ -1,0 +1,83 @@
+// ProbabilisticDatabase: the paper's representation (§3) assembled.
+//
+//   * a Database holding the single current possible world,
+//   * a World of hidden-variable assignments mirrored into it,
+//   * a TupleBinding connecting the two,
+//   * an external factor-graph Model scoring worlds, and
+//   * a delta accumulator recording Δ−/Δ+ between query evaluations.
+//
+// MakeSampler() wires a Metropolis–Hastings chain so that every accepted
+// jump updates the tables and the delta buffer — inference runs in memory,
+// the DBMS stays a blackbox, exactly the architecture of §5.
+#ifndef FGPDB_PDB_PROBABILISTIC_DATABASE_H_
+#define FGPDB_PDB_PROBABILISTIC_DATABASE_H_
+
+#include <memory>
+
+#include "factor/model.h"
+#include "infer/metropolis_hastings.h"
+#include "pdb/binding.h"
+#include "storage/database.h"
+#include "view/delta.h"
+
+namespace fgpdb {
+namespace pdb {
+
+class ProbabilisticDatabase {
+ public:
+  ProbabilisticDatabase() : db_(std::make_unique<Database>()) {}
+
+  Database& db() { return *db_; }
+  const Database& db() const { return *db_; }
+
+  TupleBinding& binding() { return binding_; }
+  const TupleBinding& binding() const { return binding_; }
+
+  factor::World& world() { return world_; }
+  const factor::World& world() const { return world_; }
+
+  /// The factor-graph model over this database's hidden variables. Not
+  /// owned; must outlive the ProbabilisticDatabase.
+  void set_model(const factor::Model* model) { model_ = model; }
+  const factor::Model& model() const {
+    FGPDB_CHECK(model_ != nullptr) << "model not set";
+    return *model_;
+  }
+
+  /// Loads the world from the stored field values (call after populating
+  /// tables and bindings).
+  void SyncWorldFromDatabase() { world_ = binding_.LoadWorld(*db_); }
+
+  /// Creates an MH sampler over this database's world: accepted changes are
+  /// mirrored into the tables and accumulated into the delta buffer.
+  std::unique_ptr<infer::MetropolisHastings> MakeSampler(
+      infer::Proposal* proposal, uint64_t seed);
+
+  /// Deltas accumulated since the last TakeDeltas (the paper's auxiliary
+  /// tables, consumed and cleared at each query evaluation).
+  view::DeltaSet TakeDeltas() {
+    view::DeltaSet out = std::move(pending_deltas_);
+    pending_deltas_.Clear();
+    return out;
+  }
+
+  /// Discards pending deltas (e.g. after a full re-evaluation).
+  void DiscardDeltas() { pending_deltas_.Clear(); }
+
+  /// Clones the database, world, and binding for an independent chain
+  /// (paper §5.4). The model pointer is shared — models are read-only
+  /// during inference.
+  std::unique_ptr<ProbabilisticDatabase> Clone() const;
+
+ private:
+  std::unique_ptr<Database> db_;
+  TupleBinding binding_;
+  factor::World world_;
+  const factor::Model* model_ = nullptr;
+  view::DeltaSet pending_deltas_;
+};
+
+}  // namespace pdb
+}  // namespace fgpdb
+
+#endif  // FGPDB_PDB_PROBABILISTIC_DATABASE_H_

@@ -1,0 +1,184 @@
+#include "pdb/query_evaluator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ra/executor.h"
+#include "util/stopwatch.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace pdb {
+
+void QueryAnswer::ObserveSampleContaining(
+    const std::vector<Tuple>& distinct_tuples) {
+  for (const Tuple& t : distinct_tuples) ++counts_[t];
+  ++num_samples_;
+}
+
+double QueryAnswer::Probability(const Tuple& tuple) const {
+  if (num_samples_ == 0) return 0.0;
+  const auto it = counts_.find(tuple);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(num_samples_);
+}
+
+std::vector<std::pair<Tuple, double>> QueryAnswer::Sorted() const {
+  std::vector<std::pair<Tuple, double>> out;
+  out.reserve(counts_.size());
+  for (const auto& [tuple, count] : counts_) {
+    out.emplace_back(tuple, static_cast<double>(count) /
+                                static_cast<double>(num_samples_));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<std::pair<Tuple, double>> QueryAnswer::TopK(size_t k) const {
+  std::vector<std::pair<Tuple, double>> out = Sorted();
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void QueryAnswer::Merge(const QueryAnswer& other) {
+  for (const auto& [tuple, count] : other.counts_) counts_[tuple] += count;
+  num_samples_ += other.num_samples_;
+}
+
+double QueryAnswer::SquaredError(const QueryAnswer& truth) const {
+  double total = 0.0;
+  std::unordered_set<Tuple, TupleHasher> seen;
+  for (const auto& [tuple, count] : counts_) {
+    (void)count;
+    const double d = Probability(tuple) - truth.Probability(tuple);
+    total += d * d;
+    seen.insert(tuple);
+  }
+  for (const auto& [tuple, count] : truth.counts_) {
+    (void)count;
+    if (seen.count(tuple) > 0) continue;
+    const double d = truth.Probability(tuple);
+    total += d * d;
+  }
+  return total;
+}
+
+void QueryEvaluator::Run(uint64_t n) {
+  if (!initialized()) Initialize();
+  for (uint64_t i = 0; i < n; ++i) DrawSample();
+}
+
+namespace {
+
+std::vector<Tuple> DistinctTuples(const std::vector<Tuple>& bag) {
+  std::unordered_set<Tuple, TupleHasher> seen;
+  std::vector<Tuple> out;
+  for (const Tuple& t : bag) {
+    if (seen.insert(t).second) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Naive (Algorithm 3) ----------------------------------------------------
+
+NaiveQueryEvaluator::NaiveQueryEvaluator(ProbabilisticDatabase* pdb,
+                                         infer::Proposal* proposal,
+                                         const ra::PlanNode* plan,
+                                         EvaluatorOptions options)
+    : pdb_(pdb), plan_(plan), options_(options) {
+  FGPDB_CHECK(pdb_ != nullptr);
+  FGPDB_CHECK(plan_ != nullptr);
+  sampler_ = pdb_->MakeSampler(proposal, options_.seed);
+}
+
+void NaiveQueryEvaluator::Initialize() {
+  FGPDB_CHECK(!initialized_);
+  sampler_->Run(options_.burn_in);
+  pdb_->DiscardDeltas();  // The naive path never consumes deltas.
+  initialized_ = true;
+}
+
+void NaiveQueryEvaluator::DrawSample() {
+  FGPDB_CHECK(initialized_);
+  sampler_->Run(options_.steps_per_sample);
+  pdb_->DiscardDeltas();
+  // Full query over the sampled world — the expensive step Alg. 1 removes.
+  answer_.ObserveSampleContaining(
+      DistinctTuples(ra::Execute(*plan_, pdb_->db())));
+}
+
+std::vector<Tuple> NaiveQueryEvaluator::CurrentAnswerSet() const {
+  return DistinctTuples(ra::Execute(*plan_, pdb_->db()));
+}
+
+// --- Materialized (Algorithm 1) ----------------------------------------------
+
+MaterializedQueryEvaluator::MaterializedQueryEvaluator(
+    ProbabilisticDatabase* pdb, infer::Proposal* proposal,
+    const ra::PlanNode* plan, EvaluatorOptions options)
+    : pdb_(pdb),
+      options_(options),
+      view_(*plan),
+      steps_per_sample_(options.steps_per_sample) {
+  FGPDB_CHECK(pdb_ != nullptr);
+  sampler_ = pdb_->MakeSampler(proposal, options_.seed);
+}
+
+void MaterializedQueryEvaluator::Initialize() {
+  FGPDB_CHECK(!initialized_);
+  sampler_->Run(options_.burn_in);
+  pdb_->DiscardDeltas();
+  // The one exhaustive query over the initial world (Alg. 1 line 2).
+  view_.Initialize(pdb_->db());
+  initialized_ = true;
+}
+
+void MaterializedQueryEvaluator::DrawSample() {
+  FGPDB_CHECK(initialized_);
+  Stopwatch walk_timer;
+  sampler_->Run(steps_per_sample_);
+  const double walk_seconds = walk_timer.ElapsedSeconds();
+  // Fold Δ−/Δ+ through the view instead of re-running the query
+  // (Alg. 1 line 5: s ← s − Q'(w,Δ−) ∪ Q'(w,Δ+)).
+  Stopwatch eval_timer;
+  view_.Apply(pdb_->TakeDeltas());
+  std::vector<Tuple> distinct;
+  distinct.reserve(view_.contents().distinct_size());
+  view_.contents().ForEach(
+      [&](const Tuple& t, int64_t) { distinct.push_back(t); });
+  answer_.ObserveSampleContaining(distinct);
+  const double eval_seconds = eval_timer.ElapsedSeconds();
+
+  if (options_.adaptive_thinning) {
+    // Steer the per-sample evaluation share toward the target: halve k when
+    // evaluation is cheap relative to walking, double it when expensive.
+    // Multiplicative updates keep the controller stable under noisy timers.
+    const double total = walk_seconds + eval_seconds;
+    if (total > 0.0) {
+      const double fraction = eval_seconds / total;
+      if (fraction < options_.target_eval_fraction / 2.0) {
+        steps_per_sample_ = std::max(options_.min_steps_per_sample,
+                                     steps_per_sample_ / 2);
+      } else if (fraction > options_.target_eval_fraction * 2.0) {
+        steps_per_sample_ = std::min(options_.max_steps_per_sample,
+                                     steps_per_sample_ * 2);
+      }
+    }
+  }
+}
+
+std::vector<Tuple> MaterializedQueryEvaluator::CurrentAnswerSet() const {
+  std::vector<Tuple> distinct;
+  view_.contents().ForEach(
+      [&](const Tuple& t, int64_t) { distinct.push_back(t); });
+  return distinct;
+}
+
+}  // namespace pdb
+}  // namespace fgpdb

@@ -1,0 +1,246 @@
+#include "ra/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace ra {
+namespace {
+
+std::vector<Tuple> ExecuteScan(const ScanNode& node, const Database& db) {
+  const Table* table = db.RequireTable(node.table_name());
+  std::vector<Tuple> out;
+  out.reserve(table->size());
+  table->Scan([&](RowId, const Tuple& t) { out.push_back(t); });
+  return out;
+}
+
+std::vector<Tuple> ExecuteSelect(const SelectNode& node, const Database& db) {
+  std::vector<Tuple> in = Execute(node.child(0), db);
+  std::vector<Tuple> out;
+  for (auto& t : in) {
+    if (node.predicate().EvalBool(t)) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Tuple> ExecuteProject(const ProjectNode& node, const Database& db) {
+  std::vector<Tuple> in = Execute(node.child(0), db);
+  std::vector<Tuple> out;
+  out.reserve(in.size());
+  for (const auto& t : in) {
+    std::vector<Value> values;
+    values.reserve(node.outputs().size());
+    for (const auto& e : node.outputs()) values.push_back(e->Eval(t));
+    out.emplace_back(std::move(values));
+  }
+  return out;
+}
+
+std::vector<Tuple> ExecuteJoin(const JoinNode& node, const Database& db) {
+  std::vector<Tuple> left = Execute(node.child(0), db);
+  std::vector<Tuple> right = Execute(node.child(1), db);
+  std::vector<Tuple> out;
+  auto emit = [&](const Tuple& l, const Tuple& r) {
+    Tuple joined = Tuple::Concat(l, r);
+    if (node.residual() == nullptr || node.residual()->EvalBool(joined)) {
+      out.push_back(std::move(joined));
+    }
+  };
+  if (node.left_keys().empty()) {
+    // Cartesian product with optional residual filter.
+    for (const auto& l : left) {
+      for (const auto& r : right) emit(l, r);
+    }
+    return out;
+  }
+  // Hash join: build on the smaller side for memory locality; here we build
+  // on the right unconditionally since bags are already materialized.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHasher> build;
+  build.reserve(right.size());
+  for (const auto& r : right) {
+    build[r.Project(node.right_keys())].push_back(&r);
+  }
+  for (const auto& l : left) {
+    const auto it = build.find(l.Project(node.left_keys()));
+    if (it == build.end()) continue;
+    for (const Tuple* r : it->second) emit(l, *r);
+  }
+  return out;
+}
+
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool sum_is_integral = true;
+  bool has_extreme = false;
+  Value extreme;
+  std::unordered_set<Value, ValueHasher> distinct;
+};
+
+Value FinalizeAggregate(const AggregateSpec& spec, const AggState& state) {
+  switch (spec.kind) {
+    case AggregateSpec::Kind::kCount:
+    case AggregateSpec::Kind::kCountIf:
+      return Value::Int(state.count);
+    case AggregateSpec::Kind::kCountDistinct:
+      return Value::Int(static_cast<int64_t>(state.distinct.size()));
+    case AggregateSpec::Kind::kSum:
+      if (state.count == 0) return Value::Null();
+      return state.sum_is_integral ? Value::Int(static_cast<int64_t>(state.sum))
+                                   : Value::Double(state.sum);
+    case AggregateSpec::Kind::kAvg:
+      if (state.count == 0) return Value::Null();
+      return Value::Double(state.sum / static_cast<double>(state.count));
+    case AggregateSpec::Kind::kMin:
+    case AggregateSpec::Kind::kMax:
+      return state.has_extreme ? state.extreme : Value::Null();
+  }
+  return Value::Null();
+}
+
+void AccumulateAggregate(const AggregateSpec& spec, const Tuple& tuple,
+                         AggState& state) {
+  switch (spec.kind) {
+    case AggregateSpec::Kind::kCount:
+      if (spec.argument == nullptr || !spec.argument->Eval(tuple).is_null()) {
+        ++state.count;
+      }
+      return;
+    case AggregateSpec::Kind::kCountIf:
+      FGPDB_CHECK(spec.argument != nullptr);
+      if (spec.argument->EvalBool(tuple)) ++state.count;
+      return;
+    case AggregateSpec::Kind::kCountDistinct: {
+      FGPDB_CHECK(spec.argument != nullptr);
+      const Value v = spec.argument->Eval(tuple);
+      if (!v.is_null()) state.distinct.insert(v);
+      return;
+    }
+    case AggregateSpec::Kind::kSum:
+    case AggregateSpec::Kind::kAvg: {
+      FGPDB_CHECK(spec.argument != nullptr);
+      const Value v = spec.argument->Eval(tuple);
+      if (v.is_null()) return;
+      ++state.count;
+      state.sum += v.AsNumeric();
+      if (v.type() != ValueType::kInt64) state.sum_is_integral = false;
+      return;
+    }
+    case AggregateSpec::Kind::kMin:
+    case AggregateSpec::Kind::kMax: {
+      FGPDB_CHECK(spec.argument != nullptr);
+      const Value v = spec.argument->Eval(tuple);
+      if (v.is_null()) return;
+      const bool replace =
+          !state.has_extreme ||
+          (spec.kind == AggregateSpec::Kind::kMin ? v < state.extreme
+                                                  : v > state.extreme);
+      if (replace) {
+        state.extreme = v;
+        state.has_extreme = true;
+      }
+      return;
+    }
+  }
+}
+
+std::vector<Tuple> ExecuteAggregate(const AggregateNode& node,
+                                    const Database& db) {
+  std::vector<Tuple> in = Execute(node.child(0), db);
+  // Group key -> per-aggregate states. Insertion order retained for
+  // deterministic output given deterministic input order.
+  std::unordered_map<Tuple, size_t, TupleHasher> group_index;
+  std::vector<Tuple> group_keys;
+  std::vector<std::vector<AggState>> states;
+  for (const auto& t : in) {
+    Tuple key = t.Project(node.group_by());
+    auto [it, inserted] = group_index.emplace(std::move(key), group_keys.size());
+    if (inserted) {
+      group_keys.push_back(it->first);
+      states.emplace_back(node.aggregates().size());
+    }
+    auto& group_states = states[it->second];
+    for (size_t a = 0; a < node.aggregates().size(); ++a) {
+      AccumulateAggregate(node.aggregates()[a], t, group_states[a]);
+    }
+  }
+  // Global aggregate over an empty input still yields one row (SQL
+  // semantics for aggregates without GROUP BY).
+  if (group_keys.empty() && node.group_by().empty()) {
+    group_keys.emplace_back();
+    states.emplace_back(node.aggregates().size());
+  }
+  std::vector<Tuple> out;
+  out.reserve(group_keys.size());
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    std::vector<Value> values;
+    values.reserve(node.group_by().size() + node.aggregates().size());
+    for (const Value& v : group_keys[g].values()) values.push_back(v);
+    for (size_t a = 0; a < node.aggregates().size(); ++a) {
+      values.push_back(FinalizeAggregate(node.aggregates()[a], states[g][a]));
+    }
+    out.emplace_back(std::move(values));
+  }
+  return out;
+}
+
+std::vector<Tuple> ExecuteDistinct(const DistinctNode& node,
+                                   const Database& db) {
+  std::vector<Tuple> in = Execute(node.child(0), db);
+  std::unordered_set<Tuple, TupleHasher> seen;
+  std::vector<Tuple> out;
+  for (auto& t : in) {
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Tuple> ExecuteOrderBy(const OrderByNode& node, const Database& db) {
+  std::vector<Tuple> in = Execute(node.child(0), db);
+  std::stable_sort(in.begin(), in.end(), [&](const Tuple& a, const Tuple& b) {
+    for (size_t k : node.keys()) {
+      const int c = a.at(k).Compare(b.at(k));
+      if (c != 0) return node.ascending() ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  return in;
+}
+
+std::vector<Tuple> ExecuteLimit(const LimitNode& node, const Database& db) {
+  std::vector<Tuple> in = Execute(node.child(0), db);
+  if (in.size() > node.limit()) in.resize(node.limit());
+  return in;
+}
+
+}  // namespace
+
+std::vector<Tuple> Execute(const PlanNode& plan, const Database& db) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+      return ExecuteScan(static_cast<const ScanNode&>(plan), db);
+    case PlanKind::kSelect:
+      return ExecuteSelect(static_cast<const SelectNode&>(plan), db);
+    case PlanKind::kProject:
+      return ExecuteProject(static_cast<const ProjectNode&>(plan), db);
+    case PlanKind::kJoin:
+      return ExecuteJoin(static_cast<const JoinNode&>(plan), db);
+    case PlanKind::kAggregate:
+      return ExecuteAggregate(static_cast<const AggregateNode&>(plan), db);
+    case PlanKind::kDistinct:
+      return ExecuteDistinct(static_cast<const DistinctNode&>(plan), db);
+    case PlanKind::kOrderBy:
+      return ExecuteOrderBy(static_cast<const OrderByNode&>(plan), db);
+    case PlanKind::kLimit:
+      return ExecuteLimit(static_cast<const LimitNode&>(plan), db);
+  }
+  FGPDB_FATAL() << "unknown plan kind";
+  return {};
+}
+
+}  // namespace ra
+}  // namespace fgpdb

@@ -1,0 +1,24 @@
+// Materializing bag executor for relational plans.
+//
+// This is the "full query" path — what the naive evaluator (paper Alg. 3)
+// runs over every sampled world, and what the materialized evaluator
+// (Alg. 1) runs exactly once to initialize its views.
+#ifndef FGPDB_RA_EXECUTOR_H_
+#define FGPDB_RA_EXECUTOR_H_
+
+#include <vector>
+
+#include "ra/plan.h"
+#include "storage/database.h"
+
+namespace fgpdb {
+namespace ra {
+
+/// Evaluates `plan` against the single world stored in `db`, returning a bag
+/// of tuples (duplicates preserved; order unspecified except under OrderBy).
+std::vector<Tuple> Execute(const PlanNode& plan, const Database& db);
+
+}  // namespace ra
+}  // namespace fgpdb
+
+#endif  // FGPDB_RA_EXECUTOR_H_

@@ -1,0 +1,212 @@
+#include "ra/expr.h"
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace ra {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool Expr::EvalBool(const Tuple& tuple) const {
+  const Value v = Eval(tuple);
+  switch (v.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt64:
+      return v.AsInt() != 0;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0.0;
+    case ValueType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+Value Comparison::Eval(const Tuple& tuple) const {
+  const Value a = lhs_->Eval(tuple);
+  const Value b = rhs_->Eval(tuple);
+  // SQL three-valued logic collapsed to false on NULL operands.
+  if (a.is_null() || b.is_null()) return Value::Int(0);
+  const int c = a.Compare(b);
+  bool result = false;
+  switch (op_) {
+    case CompareOp::kEq:
+      result = c == 0;
+      break;
+    case CompareOp::kNe:
+      result = c != 0;
+      break;
+    case CompareOp::kLt:
+      result = c < 0;
+      break;
+    case CompareOp::kLe:
+      result = c <= 0;
+      break;
+    case CompareOp::kGt:
+      result = c > 0;
+      break;
+    case CompareOp::kGe:
+      result = c >= 0;
+      break;
+  }
+  return Value::Int(result ? 1 : 0);
+}
+
+std::string Comparison::ToString() const {
+  return "(" + lhs_->ToString() + " " + CompareOpName(op_) + " " +
+         rhs_->ToString() + ")";
+}
+
+Value Logical::Eval(const Tuple& tuple) const {
+  switch (op_) {
+    case LogicalOp::kAnd:
+      return Value::Int(lhs_->EvalBool(tuple) && rhs_->EvalBool(tuple) ? 1 : 0);
+    case LogicalOp::kOr:
+      return Value::Int(lhs_->EvalBool(tuple) || rhs_->EvalBool(tuple) ? 1 : 0);
+    case LogicalOp::kNot:
+      return Value::Int(lhs_->EvalBool(tuple) ? 0 : 1);
+  }
+  return Value::Int(0);
+}
+
+std::string Logical::ToString() const {
+  switch (op_) {
+    case LogicalOp::kAnd:
+      return "(" + lhs_->ToString() + " AND " + rhs_->ToString() + ")";
+    case LogicalOp::kOr:
+      return "(" + lhs_->ToString() + " OR " + rhs_->ToString() + ")";
+    case LogicalOp::kNot:
+      return "(NOT " + lhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+Value Arithmetic::Eval(const Tuple& tuple) const {
+  const Value a = lhs_->Eval(tuple);
+  const Value b = rhs_->Eval(tuple);
+  if (a.is_null() || b.is_null()) return Value::Null();
+  // Integer arithmetic when both sides are integers (except division).
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64 &&
+      op_ != ArithmeticOp::kDiv) {
+    switch (op_) {
+      case ArithmeticOp::kAdd:
+        return Value::Int(a.AsInt() + b.AsInt());
+      case ArithmeticOp::kSub:
+        return Value::Int(a.AsInt() - b.AsInt());
+      case ArithmeticOp::kMul:
+        return Value::Int(a.AsInt() * b.AsInt());
+      default:
+        break;
+    }
+  }
+  const double x = a.AsNumeric();
+  const double y = b.AsNumeric();
+  switch (op_) {
+    case ArithmeticOp::kAdd:
+      return Value::Double(x + y);
+    case ArithmeticOp::kSub:
+      return Value::Double(x - y);
+    case ArithmeticOp::kMul:
+      return Value::Double(x * y);
+    case ArithmeticOp::kDiv:
+      return y == 0.0 ? Value::Null() : Value::Double(x / y);
+  }
+  return Value::Null();
+}
+
+std::string Arithmetic::ToString() const {
+  const char* op = "?";
+  switch (op_) {
+    case ArithmeticOp::kAdd:
+      op = "+";
+      break;
+    case ArithmeticOp::kSub:
+      op = "-";
+      break;
+    case ArithmeticOp::kMul:
+      op = "*";
+      break;
+    case ArithmeticOp::kDiv:
+      op = "/";
+      break;
+  }
+  return "(" + lhs_->ToString() + " " + op + " " + rhs_->ToString() + ")";
+}
+
+Value Like::Eval(const Tuple& tuple) const {
+  const Value v = operand_->Eval(tuple);
+  if (v.type() != ValueType::kString) return Value::Int(0);
+  return Value::Int(Matches(v.AsString(), pattern_) ? 1 : 0);
+}
+
+bool Like::Matches(const std::string& text, const std::string& pattern) {
+  // Iterative greedy match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+ExprPtr Col(size_t index, std::string name) {
+  if (name.empty()) name = "$" + std::to_string(index);
+  return std::make_unique<ColumnRef>(index, std::move(name));
+}
+
+ExprPtr Lit(Value value) { return std::make_unique<Constant>(std::move(value)); }
+
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<Comparison>(CompareOp::kEq, std::move(lhs),
+                                      std::move(rhs));
+}
+
+ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<Comparison>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr And(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<Logical>(LogicalOp::kAnd, std::move(lhs),
+                                   std::move(rhs));
+}
+
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<Logical>(LogicalOp::kOr, std::move(lhs),
+                                   std::move(rhs));
+}
+
+ExprPtr Not(ExprPtr operand) {
+  return std::make_unique<Logical>(LogicalOp::kNot, std::move(operand), nullptr);
+}
+
+}  // namespace ra
+}  // namespace fgpdb

@@ -1,0 +1,195 @@
+// Scalar expression trees evaluated over tuples.
+//
+// Expressions are built by the SQL binder (src/sql) or directly by library
+// users; column references are resolved to positional indexes before
+// execution, so evaluation never consults attribute names.
+#ifndef FGPDB_RA_EXPR_H_
+#define FGPDB_RA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace fgpdb {
+namespace ra {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr, kNot };
+enum class ArithmeticOp { kAdd, kSub, kMul, kDiv };
+
+const char* CompareOpName(CompareOp op);
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates the expression against one input tuple.
+  virtual Value Eval(const Tuple& tuple) const = 0;
+
+  /// SQL-ish rendering for diagnostics.
+  virtual std::string ToString() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+  /// Evaluates as a boolean predicate: non-null, non-zero numeric is true.
+  bool EvalBool(const Tuple& tuple) const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class ColumnRef final : public Expr {
+ public:
+  ColumnRef(size_t index, std::string name)
+      : index_(index), name_(std::move(name)) {}
+
+  Value Eval(const Tuple& tuple) const override { return tuple.at(index_); }
+  std::string ToString() const override { return name_; }
+  ExprPtr Clone() const override {
+    return std::make_unique<ColumnRef>(index_, name_);
+  }
+
+  size_t index() const { return index_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  size_t index_;
+  std::string name_;
+};
+
+class Constant final : public Expr {
+ public:
+  explicit Constant(Value value) : value_(std::move(value)) {}
+
+  Value Eval(const Tuple&) const override { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+  ExprPtr Clone() const override { return std::make_unique<Constant>(value_); }
+
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+class Comparison final : public Expr {
+ public:
+  Comparison(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Eval(const Tuple& tuple) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<Comparison>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+
+  CompareOp op() const { return op_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr& rhs() const { return *rhs_; }
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class Logical final : public Expr {
+ public:
+  /// kNot takes a single operand (rhs == nullptr).
+  Logical(LogicalOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Eval(const Tuple& tuple) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<Logical>(op_, lhs_->Clone(),
+                                     rhs_ ? rhs_->Clone() : nullptr);
+  }
+
+  LogicalOp op() const { return op_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr* rhs() const { return rhs_.get(); }
+
+ private:
+  LogicalOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class Arithmetic final : public Expr {
+ public:
+  Arithmetic(ArithmeticOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Eval(const Tuple& tuple) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<Arithmetic>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+
+ private:
+  ArithmeticOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// SQL `x IS NULL` / `x IS NOT NULL` (distinct from comparisons, which
+/// collapse NULL operands to false).
+class IsNull final : public Expr {
+ public:
+  IsNull(ExprPtr operand, bool negated)
+      : operand_(std::move(operand)), negated_(negated) {}
+
+  Value Eval(const Tuple& tuple) const override {
+    const bool is_null = operand_->Eval(tuple).is_null();
+    return Value::Int((is_null != negated_) ? 1 : 0);
+  }
+  std::string ToString() const override {
+    return "(" + operand_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL") +
+           ")";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<IsNull>(operand_->Clone(), negated_);
+  }
+
+ private:
+  ExprPtr operand_;
+  bool negated_;
+};
+
+/// SQL LIKE with '%' (any run) and '_' (any single char) wildcards.
+class Like final : public Expr {
+ public:
+  Like(ExprPtr operand, std::string pattern)
+      : operand_(std::move(operand)), pattern_(std::move(pattern)) {}
+
+  Value Eval(const Tuple& tuple) const override;
+  std::string ToString() const override {
+    return "(" + operand_->ToString() + " LIKE '" + pattern_ + "')";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<Like>(operand_->Clone(), pattern_);
+  }
+
+  /// Exposed for tests: %-/_-pattern matching.
+  static bool Matches(const std::string& text, const std::string& pattern);
+
+ private:
+  ExprPtr operand_;
+  std::string pattern_;
+};
+
+/// Convenience builders.
+ExprPtr Col(size_t index, std::string name = "");
+ExprPtr Lit(Value value);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Not(ExprPtr operand);
+
+}  // namespace ra
+}  // namespace fgpdb
+
+#endif  // FGPDB_RA_EXPR_H_

@@ -1,0 +1,194 @@
+#include "ra/plan.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fgpdb {
+namespace ra {
+namespace {
+
+std::vector<PlanPtr> One(PlanPtr child) {
+  std::vector<PlanPtr> v;
+  v.push_back(std::move(child));
+  return v;
+}
+
+std::vector<PlanPtr> Two(PlanPtr a, PlanPtr b) {
+  std::vector<PlanPtr> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return v;
+}
+
+Schema ConcatSchemas(const Schema& a, const Schema& b) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(a.arity() + b.arity());
+  for (const auto& attr : a.attributes()) attrs.push_back(attr);
+  for (const auto& attr : b.attributes()) {
+    Attribute renamed = attr;
+    // Disambiguate duplicate names from self-joins: suffix with #<i>.
+    std::string candidate = renamed.name;
+    int suffix = 2;
+    auto taken = [&](const std::string& name) {
+      for (const auto& existing : attrs) {
+        if (existing.name == name) return true;
+      }
+      return false;
+    };
+    while (taken(candidate)) {
+      candidate = renamed.name + "#" + std::to_string(suffix++);
+    }
+    renamed.name = candidate;
+    attrs.push_back(std::move(renamed));
+  }
+  return Schema(std::move(attrs));
+}
+
+}  // namespace
+
+std::string PlanNode::ToString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe();
+  out += "\n";
+  for (const auto& child : children_) out += child->ToString(indent + 1);
+  return out;
+}
+
+SelectNode::SelectNode(PlanPtr child, ExprPtr predicate)
+    : PlanNode(PlanKind::kSelect, One(std::move(child))),
+      predicate_(std::move(predicate)) {
+  FGPDB_CHECK(predicate_ != nullptr);
+  set_output_schema(this->child(0).output_schema());
+}
+
+ProjectNode::ProjectNode(PlanPtr child, std::vector<ExprPtr> outputs,
+                         std::vector<std::string> names)
+    : PlanNode(PlanKind::kProject, One(std::move(child))),
+      outputs_(std::move(outputs)) {
+  FGPDB_CHECK_EQ(outputs_.size(), names.size());
+  std::vector<Attribute> attrs;
+  attrs.reserve(outputs_.size());
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    // Output types depend on the data; record as NULL (any).
+    attrs.push_back(Attribute{names[i], ValueType::kNull});
+  }
+  set_output_schema(Schema(std::move(attrs)));
+}
+
+std::string ProjectNode::Describe() const {
+  std::vector<std::string> parts;
+  parts.reserve(outputs_.size());
+  for (const auto& e : outputs_) parts.push_back(e->ToString());
+  return "Project(" + Join(parts, ", ") + ")";
+}
+
+JoinNode::JoinNode(PlanPtr left, PlanPtr right, std::vector<size_t> left_keys,
+                   std::vector<size_t> right_keys, ExprPtr residual)
+    : PlanNode(PlanKind::kJoin, Two(std::move(left), std::move(right))),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)) {
+  FGPDB_CHECK_EQ(left_keys_.size(), right_keys_.size());
+  set_output_schema(
+      ConcatSchemas(child(0).output_schema(), child(1).output_schema()));
+}
+
+std::string JoinNode::Describe() const {
+  std::vector<std::string> conds;
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    conds.push_back("L$" + std::to_string(left_keys_[i]) + "=R$" +
+                    std::to_string(right_keys_[i]));
+  }
+  std::string out = left_keys_.empty() ? "CrossProduct" : "HashJoin";
+  out += "(" + Join(conds, " AND ");
+  if (residual_ != nullptr) {
+    if (!conds.empty()) out += " AND ";
+    out += residual_->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string AggregateSpec::ToString() const {
+  const char* name = "?";
+  switch (kind) {
+    case Kind::kCount:
+      name = "COUNT";
+      break;
+    case Kind::kCountIf:
+      name = "COUNT_IF";
+      break;
+    case Kind::kCountDistinct:
+      name = "COUNT_DISTINCT";
+      break;
+    case Kind::kSum:
+      name = "SUM";
+      break;
+    case Kind::kMin:
+      name = "MIN";
+      break;
+    case Kind::kMax:
+      name = "MAX";
+      break;
+    case Kind::kAvg:
+      name = "AVG";
+      break;
+  }
+  std::string out = name;
+  out += "(";
+  out += argument ? argument->ToString() : "*";
+  out += ")";
+  return out;
+}
+
+AggregateNode::AggregateNode(PlanPtr child, std::vector<size_t> group_by,
+                             std::vector<AggregateSpec> aggregates)
+    : PlanNode(PlanKind::kAggregate, One(std::move(child))),
+      group_by_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {
+  std::vector<Attribute> attrs;
+  for (size_t col : group_by_) {
+    attrs.push_back(this->child(0).output_schema().attribute(col));
+  }
+  for (const auto& spec : aggregates_) {
+    attrs.push_back(Attribute{
+        spec.output_name.empty() ? spec.ToString() : spec.output_name,
+        ValueType::kNull});
+  }
+  set_output_schema(Schema(std::move(attrs)));
+}
+
+std::string AggregateNode::Describe() const {
+  std::vector<std::string> parts;
+  for (size_t col : group_by_) parts.push_back("$" + std::to_string(col));
+  for (const auto& spec : aggregates_) parts.push_back(spec.ToString());
+  return "Aggregate(" + Join(parts, ", ") + ")";
+}
+
+DistinctNode::DistinctNode(PlanPtr child)
+    : PlanNode(PlanKind::kDistinct, One(std::move(child))) {
+  set_output_schema(this->child(0).output_schema());
+}
+
+OrderByNode::OrderByNode(PlanPtr child, std::vector<size_t> keys,
+                         bool ascending)
+    : PlanNode(PlanKind::kOrderBy, One(std::move(child))),
+      keys_(std::move(keys)),
+      ascending_(ascending) {
+  set_output_schema(this->child(0).output_schema());
+}
+
+std::string OrderByNode::Describe() const {
+  std::vector<std::string> parts;
+  for (size_t k : keys_) parts.push_back("$" + std::to_string(k));
+  return std::string("OrderBy(") + Join(parts, ", ") +
+         (ascending_ ? " ASC" : " DESC") + ")";
+}
+
+LimitNode::LimitNode(PlanPtr child, size_t limit)
+    : PlanNode(PlanKind::kLimit, One(std::move(child))), limit_(limit) {
+  set_output_schema(this->child(0).output_schema());
+}
+
+}  // namespace ra
+}  // namespace fgpdb

@@ -1,0 +1,213 @@
+// Logical/physical query plans with bag (multiset) semantics.
+//
+// Plans are trees of PlanNode. The executor (executor.h) evaluates them
+// bottom-up into materialized bags of tuples; the incremental engine
+// (src/view) compiles the same trees into delta-maintainable operators,
+// which is what makes the paper's Eq. 6 rewrites apply to arbitrary queries.
+#ifndef FGPDB_RA_PLAN_H_
+#define FGPDB_RA_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ra/expr.h"
+#include "storage/schema.h"
+
+namespace fgpdb {
+namespace ra {
+
+enum class PlanKind {
+  kScan,
+  kSelect,
+  kProject,
+  kJoin,
+  kAggregate,
+  kDistinct,
+  kOrderBy,
+  kLimit,
+};
+
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  PlanKind kind() const { return kind_; }
+  const Schema& output_schema() const { return output_schema_; }
+
+  size_t num_children() const { return children_.size(); }
+  const PlanNode& child(size_t i) const { return *children_.at(i); }
+
+  /// Indented plan rendering for EXPLAIN-style output.
+  std::string ToString(int indent = 0) const;
+
+ protected:
+  /// Derived constructors must call set_output_schema() in their body (after
+  /// children are stored) — computing the schema from a child in the
+  /// member-initializer list is an evaluation-order trap with the moved
+  /// children argument.
+  PlanNode(PlanKind kind, std::vector<std::unique_ptr<PlanNode>> children)
+      : kind_(kind), children_(std::move(children)) {}
+
+  void set_output_schema(Schema schema) { output_schema_ = std::move(schema); }
+
+  /// One-line description of this node (no children).
+  virtual std::string Describe() const = 0;
+
+ private:
+  PlanKind kind_;
+  Schema output_schema_;
+  std::vector<std::unique_ptr<PlanNode>> children_;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Leaf: full scan of a stored table.
+class ScanNode final : public PlanNode {
+ public:
+  ScanNode(std::string table_name, Schema schema)
+      : PlanNode(PlanKind::kScan, {}), table_name_(std::move(table_name)) {
+    set_output_schema(std::move(schema));
+  }
+
+  const std::string& table_name() const { return table_name_; }
+
+ protected:
+  std::string Describe() const override { return "Scan(" + table_name_ + ")"; }
+
+ private:
+  std::string table_name_;
+};
+
+/// σ: keeps tuples satisfying the predicate.
+class SelectNode final : public PlanNode {
+ public:
+  SelectNode(PlanPtr child, ExprPtr predicate);
+
+  const Expr& predicate() const { return *predicate_; }
+
+ protected:
+  std::string Describe() const override {
+    return "Select(" + predicate_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// π: generalized projection; bag semantics (duplicates preserved).
+class ProjectNode final : public PlanNode {
+ public:
+  ProjectNode(PlanPtr child, std::vector<ExprPtr> outputs,
+              std::vector<std::string> names);
+
+  const std::vector<ExprPtr>& outputs() const { return outputs_; }
+
+ protected:
+  std::string Describe() const override;
+
+ private:
+  std::vector<ExprPtr> outputs_;
+};
+
+/// ⋈: equi-join on (left_keys[i] == right_keys[i]) plus an optional residual
+/// predicate over the concatenated tuple. Empty key lists give a Cartesian
+/// product (paper §4.2 rewrites products and σ to build joins).
+class JoinNode final : public PlanNode {
+ public:
+  JoinNode(PlanPtr left, PlanPtr right, std::vector<size_t> left_keys,
+           std::vector<size_t> right_keys, ExprPtr residual);
+
+  const std::vector<size_t>& left_keys() const { return left_keys_; }
+  const std::vector<size_t>& right_keys() const { return right_keys_; }
+  const Expr* residual() const { return residual_.get(); }
+
+ protected:
+  std::string Describe() const override;
+
+ private:
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  ExprPtr residual_;
+};
+
+/// Aggregate function specification.
+struct AggregateSpec {
+  enum class Kind { kCount, kCountIf, kCountDistinct, kSum, kMin, kMax, kAvg };
+
+  Kind kind = Kind::kCount;
+  /// Argument expression; nullptr for COUNT(*). For kCountIf this is the
+  /// predicate counted when true.
+  ExprPtr argument;
+  std::string output_name;
+
+  AggregateSpec Clone() const {
+    return AggregateSpec{kind, argument ? argument->Clone() : nullptr,
+                         output_name};
+  }
+  std::string ToString() const;
+};
+
+/// γ: grouping + aggregation. Output = group-by columns then aggregates.
+class AggregateNode final : public PlanNode {
+ public:
+  AggregateNode(PlanPtr child, std::vector<size_t> group_by,
+                std::vector<AggregateSpec> aggregates);
+
+  const std::vector<size_t>& group_by() const { return group_by_; }
+  const std::vector<AggregateSpec>& aggregates() const { return aggregates_; }
+
+ protected:
+  std::string Describe() const override;
+
+ private:
+  std::vector<size_t> group_by_;
+  std::vector<AggregateSpec> aggregates_;
+};
+
+/// δ: duplicate elimination.
+class DistinctNode final : public PlanNode {
+ public:
+  explicit DistinctNode(PlanPtr child);
+
+ protected:
+  std::string Describe() const override { return "Distinct"; }
+};
+
+/// Sort for deterministic output; `ascending` applies to all keys.
+class OrderByNode final : public PlanNode {
+ public:
+  OrderByNode(PlanPtr child, std::vector<size_t> keys, bool ascending = true);
+
+  const std::vector<size_t>& keys() const { return keys_; }
+  bool ascending() const { return ascending_; }
+
+ protected:
+  std::string Describe() const override;
+
+ private:
+  std::vector<size_t> keys_;
+  bool ascending_;
+};
+
+/// LIMIT n.
+class LimitNode final : public PlanNode {
+ public:
+  LimitNode(PlanPtr child, size_t limit);
+
+  size_t limit() const { return limit_; }
+
+ protected:
+  std::string Describe() const override {
+    return "Limit(" + std::to_string(limit_) + ")";
+  }
+
+ private:
+  size_t limit_;
+};
+
+}  // namespace ra
+}  // namespace fgpdb
+
+#endif  // FGPDB_RA_PLAN_H_

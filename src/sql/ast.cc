@@ -1,0 +1,169 @@
+#include "sql/ast.h"
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace sql {
+namespace {
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kCountIf:
+      return "COUNT_IF";
+    case AggFunc::kCountDistinct:
+      return "COUNT_DISTINCT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool AstExpr::ContainsAggregate() const {
+  if (kind == AstKind::kAggregate) return true;
+  if (lhs != nullptr && lhs->ContainsAggregate()) return true;
+  if (rhs != nullptr && rhs->ContainsAggregate()) return true;
+  return false;
+}
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case AstKind::kColumn:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case AstKind::kLiteral:
+      return literal.ToString();
+    case AstKind::kCompare:
+      return "(" + lhs->ToString() + " " + ra::CompareOpName(compare_op) +
+             " " + rhs->ToString() + ")";
+    case AstKind::kLogical:
+      if (logical_op == ra::LogicalOp::kNot) {
+        return "(NOT " + lhs->ToString() + ")";
+      }
+      return "(" + lhs->ToString() +
+             (logical_op == ra::LogicalOp::kAnd ? " AND " : " OR ") +
+             rhs->ToString() + ")";
+    case AstKind::kArithmetic: {
+      const char* op = "?";
+      switch (arithmetic_op) {
+        case ra::ArithmeticOp::kAdd:
+          op = "+";
+          break;
+        case ra::ArithmeticOp::kSub:
+          op = "-";
+          break;
+        case ra::ArithmeticOp::kMul:
+          op = "*";
+          break;
+        case ra::ArithmeticOp::kDiv:
+          op = "/";
+          break;
+      }
+      return "(" + lhs->ToString() + " " + op + " " + rhs->ToString() + ")";
+    }
+    case AstKind::kAggregate:
+      return std::string(AggFuncName(agg_func)) + "(" +
+             (agg_argument ? agg_argument->ToString() : "*") + ")";
+    case AstKind::kIsNull:
+      return "(" + lhs->ToString() + (negated ? " IS NOT NULL" : " IS NULL") +
+             ")";
+    case AstKind::kLike:
+      return "(" + lhs->ToString() + " LIKE '" + like_pattern + "')";
+  }
+  return "?";
+}
+
+AstExprPtr AstExpr::Clone() const {
+  auto out = std::make_unique<AstExpr>();
+  out->kind = kind;
+  out->qualifier = qualifier;
+  out->column = column;
+  out->literal = literal;
+  out->compare_op = compare_op;
+  out->logical_op = logical_op;
+  out->arithmetic_op = arithmetic_op;
+  out->agg_func = agg_func;
+  out->negated = negated;
+  out->like_pattern = like_pattern;
+  if (lhs != nullptr) out->lhs = lhs->Clone();
+  if (rhs != nullptr) out->rhs = rhs->Clone();
+  if (agg_argument != nullptr) out->agg_argument = agg_argument->Clone();
+  return out;
+}
+
+AstExprPtr MakeColumn(std::string qualifier, std::string column) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstKind::kColumn;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+AstExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+AstExprPtr MakeCompare(ra::CompareOp op, AstExprPtr lhs, AstExprPtr rhs) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstKind::kCompare;
+  e->compare_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+AstExprPtr MakeLogical(ra::LogicalOp op, AstExprPtr lhs, AstExprPtr rhs) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstKind::kLogical;
+  e->logical_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+AstExprPtr MakeArithmetic(ra::ArithmeticOp op, AstExprPtr lhs, AstExprPtr rhs) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstKind::kArithmetic;
+  e->arithmetic_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+AstExprPtr MakeAggregate(AggFunc func, AstExprPtr argument) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstKind::kAggregate;
+  e->agg_func = func;
+  e->agg_argument = std::move(argument);
+  return e;
+}
+
+AstExprPtr MakeIsNull(AstExprPtr operand, bool negated) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstKind::kIsNull;
+  e->lhs = std::move(operand);
+  e->negated = negated;
+  return e;
+}
+
+AstExprPtr MakeLike(AstExprPtr operand, std::string pattern) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstKind::kLike;
+  e->lhs = std::move(operand);
+  e->like_pattern = std::move(pattern);
+  return e;
+}
+
+}  // namespace sql
+}  // namespace fgpdb

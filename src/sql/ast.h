@@ -1,0 +1,111 @@
+// Parsed (unbound) SQL abstract syntax tree.
+//
+// Column names are unresolved strings here; the binder (binder.h) resolves
+// them against the catalog and lowers the AST to an executable ra:: plan.
+#ifndef FGPDB_SQL_AST_H_
+#define FGPDB_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ra/expr.h"
+#include "storage/value.h"
+
+namespace fgpdb {
+namespace sql {
+
+enum class AstKind {
+  kColumn,      // [qualifier.]name
+  kLiteral,     // constant
+  kCompare,     // a op b
+  kLogical,     // AND / OR / NOT
+  kArithmetic,  // + - * /
+  kAggregate,   // COUNT(*) / SUM(e) / COUNT_IF(p) / ...
+  kIsNull,      // x IS [NOT] NULL
+  kLike,        // x LIKE 'pattern'
+};
+
+enum class AggFunc { kCount, kCountIf, kCountDistinct, kSum, kMin, kMax, kAvg };
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct AstExpr {
+  AstKind kind = AstKind::kLiteral;
+
+  // kColumn
+  std::string qualifier;  // may be empty
+  std::string column;
+
+  // kLiteral
+  Value literal;
+
+  // kCompare / kLogical / kArithmetic
+  ra::CompareOp compare_op = ra::CompareOp::kEq;
+  ra::LogicalOp logical_op = ra::LogicalOp::kAnd;
+  ra::ArithmeticOp arithmetic_op = ra::ArithmeticOp::kAdd;
+  AstExprPtr lhs;
+  AstExprPtr rhs;  // null for NOT and unary
+
+  // kAggregate
+  AggFunc agg_func = AggFunc::kCount;
+  AstExprPtr agg_argument;  // null for COUNT(*)
+
+  // kIsNull
+  bool negated = false;
+
+  // kLike
+  std::string like_pattern;
+
+  /// True if any node in this subtree is an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// Diagnostic rendering.
+  std::string ToString() const;
+
+  AstExprPtr Clone() const;
+};
+
+AstExprPtr MakeColumn(std::string qualifier, std::string column);
+AstExprPtr MakeLiteral(Value v);
+AstExprPtr MakeCompare(ra::CompareOp op, AstExprPtr lhs, AstExprPtr rhs);
+AstExprPtr MakeLogical(ra::LogicalOp op, AstExprPtr lhs, AstExprPtr rhs);
+AstExprPtr MakeArithmetic(ra::ArithmeticOp op, AstExprPtr lhs, AstExprPtr rhs);
+AstExprPtr MakeAggregate(AggFunc func, AstExprPtr argument);
+AstExprPtr MakeIsNull(AstExprPtr operand, bool negated);
+AstExprPtr MakeLike(AstExprPtr operand, std::string pattern);
+
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;  // empty = derive from expression
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty = table name
+};
+
+struct OrderItem {
+  std::string column;  // output-column name
+};
+
+/// One SELECT statement.
+struct SelectStatement {
+  bool distinct = false;
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  AstExprPtr where;  // may be null
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;  // may be null
+  std::vector<OrderItem> order_by;
+  bool order_ascending = true;
+  std::optional<size_t> limit;
+};
+
+}  // namespace sql
+}  // namespace fgpdb
+
+#endif  // FGPDB_SQL_AST_H_

@@ -1,0 +1,441 @@
+#include "sql/binder.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "sql/parser.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace sql {
+namespace {
+
+// Name-resolution scope over the concatenation of the FROM tables.
+class Scope {
+ public:
+  void AddTable(const std::string& alias, const Schema& schema) {
+    const size_t offset = total_arity_;
+    tables_.push_back({alias, &schema, offset});
+    total_arity_ += schema.arity();
+  }
+
+  /// Resolves [qualifier.]column to a global column index; fatal if
+  /// ambiguous or unknown.
+  size_t Resolve(const std::string& qualifier, const std::string& column,
+                 std::string* display_name) const {
+    std::optional<size_t> found;
+    for (const auto& entry : tables_) {
+      if (!qualifier.empty() && entry.alias != qualifier) continue;
+      const auto idx = entry.schema->IndexOf(column);
+      if (!idx.has_value()) continue;
+      FGPDB_CHECK(!found.has_value())
+          << "ambiguous column " << column << " (qualify with table alias)";
+      found = entry.offset + *idx;
+      if (display_name != nullptr) {
+        *display_name =
+            tables_.size() > 1 ? entry.alias + "." + column : column;
+      }
+    }
+    FGPDB_CHECK(found.has_value())
+        << "unknown column " << (qualifier.empty() ? "" : qualifier + ".")
+        << column;
+    return *found;
+  }
+
+  /// Which table (index into FROM order) owns global column `index`.
+  size_t TableOf(size_t index) const {
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      if (index >= tables_[t].offset &&
+          index < tables_[t].offset + tables_[t].schema->arity()) {
+        return t;
+      }
+    }
+    FGPDB_FATAL() << "column index out of range";
+    return 0;
+  }
+
+  size_t table_offset(size_t t) const { return tables_[t].offset; }
+  size_t num_tables() const { return tables_.size(); }
+  size_t total_arity() const { return total_arity_; }
+
+ private:
+  struct Entry {
+    std::string alias;
+    const Schema* schema;
+    size_t offset;
+  };
+  std::vector<Entry> tables_;
+  size_t total_arity_ = 0;
+};
+
+// Lowers a scalar (aggregate-free) AST expression over the scope; column
+// indexes are offset by `shift` (used to rebase single-table predicates onto
+// the table's own tuple layout).
+ra::ExprPtr LowerScalar(const AstExpr& ast, const Scope& scope,
+                        int64_t shift = 0) {
+  switch (ast.kind) {
+    case AstKind::kColumn: {
+      std::string display;
+      const size_t index = scope.Resolve(ast.qualifier, ast.column, &display);
+      const int64_t rebased = static_cast<int64_t>(index) + shift;
+      FGPDB_CHECK_GE(rebased, 0);
+      return ra::Col(static_cast<size_t>(rebased), display);
+    }
+    case AstKind::kLiteral:
+      return ra::Lit(ast.literal);
+    case AstKind::kCompare:
+      return ra::Cmp(ast.compare_op, LowerScalar(*ast.lhs, scope, shift),
+                     LowerScalar(*ast.rhs, scope, shift));
+    case AstKind::kLogical:
+      if (ast.logical_op == ra::LogicalOp::kNot) {
+        return ra::Not(LowerScalar(*ast.lhs, scope, shift));
+      }
+      return std::make_unique<ra::Logical>(
+          ast.logical_op, LowerScalar(*ast.lhs, scope, shift),
+          LowerScalar(*ast.rhs, scope, shift));
+    case AstKind::kArithmetic:
+      return std::make_unique<ra::Arithmetic>(
+          ast.arithmetic_op, LowerScalar(*ast.lhs, scope, shift),
+          LowerScalar(*ast.rhs, scope, shift));
+    case AstKind::kIsNull:
+      return std::make_unique<ra::IsNull>(LowerScalar(*ast.lhs, scope, shift),
+                                          ast.negated);
+    case AstKind::kLike:
+      return std::make_unique<ra::Like>(LowerScalar(*ast.lhs, scope, shift),
+                                        ast.like_pattern);
+    case AstKind::kAggregate:
+      FGPDB_FATAL() << "aggregate call " << ast.ToString()
+                    << " is not allowed here";
+  }
+  return nullptr;
+}
+
+// Collects the set of FROM-tables referenced by an expression.
+void CollectTables(const AstExpr& ast, const Scope& scope,
+                   std::vector<bool>& used) {
+  if (ast.kind == AstKind::kColumn) {
+    std::string display;
+    const size_t index = scope.Resolve(ast.qualifier, ast.column, &display);
+    used[scope.TableOf(index)] = true;
+  }
+  if (ast.lhs != nullptr) CollectTables(*ast.lhs, scope, used);
+  if (ast.rhs != nullptr) CollectTables(*ast.rhs, scope, used);
+  if (ast.agg_argument != nullptr) CollectTables(*ast.agg_argument, scope, used);
+}
+
+// Splits an AND-tree into conjuncts (borrowed pointers into the AST).
+void SplitConjuncts(const AstExpr& ast, std::vector<const AstExpr*>& out) {
+  if (ast.kind == AstKind::kLogical && ast.logical_op == ra::LogicalOp::kAnd) {
+    SplitConjuncts(*ast.lhs, out);
+    SplitConjuncts(*ast.rhs, out);
+    return;
+  }
+  out.push_back(&ast);
+}
+
+// Gathers all aggregate calls in an expression tree.
+void CollectAggregates(const AstExpr& ast, std::vector<const AstExpr*>& out) {
+  if (ast.kind == AstKind::kAggregate) {
+    out.push_back(&ast);
+    FGPDB_CHECK(ast.agg_argument == nullptr ||
+                !ast.agg_argument->ContainsAggregate())
+        << "nested aggregates are not supported";
+    return;
+  }
+  if (ast.lhs != nullptr) CollectAggregates(*ast.lhs, out);
+  if (ast.rhs != nullptr) CollectAggregates(*ast.rhs, out);
+}
+
+// Post-aggregation lowering: rewrites an expression over the aggregate
+// node's output, mapping group-by columns and aggregate calls to output
+// positions.
+ra::ExprPtr LowerOverAggregate(
+    const AstExpr& ast, const Scope& scope,
+    const std::unordered_map<std::string, size_t>& agg_slots,
+    const std::map<size_t, size_t>& group_slots) {
+  if (ast.kind == AstKind::kAggregate) {
+    const auto it = agg_slots.find(ast.ToString());
+    FGPDB_CHECK(it != agg_slots.end());
+    return ra::Col(it->second, ast.ToString());
+  }
+  switch (ast.kind) {
+    case AstKind::kColumn: {
+      std::string display;
+      const size_t index = scope.Resolve(ast.qualifier, ast.column, &display);
+      const auto it = group_slots.find(index);
+      FGPDB_CHECK(it != group_slots.end())
+          << "column " << ast.ToString()
+          << " must appear in GROUP BY or inside an aggregate";
+      return ra::Col(it->second, display);
+    }
+    case AstKind::kLiteral:
+      return ra::Lit(ast.literal);
+    case AstKind::kCompare:
+      return ra::Cmp(ast.compare_op,
+                     LowerOverAggregate(*ast.lhs, scope, agg_slots, group_slots),
+                     LowerOverAggregate(*ast.rhs, scope, agg_slots, group_slots));
+    case AstKind::kLogical:
+      if (ast.logical_op == ra::LogicalOp::kNot) {
+        return ra::Not(
+            LowerOverAggregate(*ast.lhs, scope, agg_slots, group_slots));
+      }
+      return std::make_unique<ra::Logical>(
+          ast.logical_op,
+          LowerOverAggregate(*ast.lhs, scope, agg_slots, group_slots),
+          LowerOverAggregate(*ast.rhs, scope, agg_slots, group_slots));
+    case AstKind::kArithmetic:
+      return std::make_unique<ra::Arithmetic>(
+          ast.arithmetic_op,
+          LowerOverAggregate(*ast.lhs, scope, agg_slots, group_slots),
+          LowerOverAggregate(*ast.rhs, scope, agg_slots, group_slots));
+    case AstKind::kIsNull:
+      return std::make_unique<ra::IsNull>(
+          LowerOverAggregate(*ast.lhs, scope, agg_slots, group_slots),
+          ast.negated);
+    case AstKind::kLike:
+      return std::make_unique<ra::Like>(
+          LowerOverAggregate(*ast.lhs, scope, agg_slots, group_slots),
+          ast.like_pattern);
+    case AstKind::kAggregate:
+      break;  // Handled before the switch.
+  }
+  return nullptr;
+}
+
+ra::AggregateSpec::Kind ToSpecKind(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return ra::AggregateSpec::Kind::kCount;
+    case AggFunc::kCountIf:
+      return ra::AggregateSpec::Kind::kCountIf;
+    case AggFunc::kCountDistinct:
+      return ra::AggregateSpec::Kind::kCountDistinct;
+    case AggFunc::kSum:
+      return ra::AggregateSpec::Kind::kSum;
+    case AggFunc::kMin:
+      return ra::AggregateSpec::Kind::kMin;
+    case AggFunc::kMax:
+      return ra::AggregateSpec::Kind::kMax;
+    case AggFunc::kAvg:
+      return ra::AggregateSpec::Kind::kAvg;
+  }
+  return ra::AggregateSpec::Kind::kCount;
+}
+
+std::string DeriveName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == AstKind::kColumn) {
+    return item.expr->qualifier.empty()
+               ? item.expr->column
+               : item.expr->qualifier + "." + item.expr->column;
+  }
+  return item.expr->ToString();
+}
+
+// Output-attribute names must be unique; suffix duplicates with #2, #3, …
+void DedupeNames(std::vector<std::string>* names) {
+  for (size_t i = 0; i < names->size(); ++i) {
+    int suffix = 2;
+    std::string& name = (*names)[i];
+    auto taken = [&](const std::string& candidate) {
+      for (size_t j = 0; j < i; ++j) {
+        if ((*names)[j] == candidate) return true;
+      }
+      return false;
+    };
+    std::string candidate = name;
+    while (taken(candidate)) {
+      candidate = name + "#" + std::to_string(suffix++);
+    }
+    name = std::move(candidate);
+  }
+}
+
+}  // namespace
+
+ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db) {
+  FGPDB_CHECK(!stmt.from.empty()) << "FROM clause required";
+  Scope scope;
+  std::vector<const Table*> tables;
+  for (const auto& ref : stmt.from) {
+    const Table* table = db.RequireTable(ref.table);
+    tables.push_back(table);
+    scope.AddTable(ref.alias, table->schema());
+  }
+
+  // --- WHERE decomposition ------------------------------------------------
+  std::vector<const AstExpr*> conjuncts;
+  if (stmt.where != nullptr) SplitConjuncts(*stmt.where, conjuncts);
+
+  // Per-table pushed-down predicates, cross-table equi-join keys, residual.
+  std::vector<std::vector<const AstExpr*>> table_filters(stmt.from.size());
+  struct JoinKey {
+    size_t left_table, left_col;    // global column indexes
+    size_t right_table, right_col;
+  };
+  std::vector<JoinKey> join_keys;
+  std::vector<const AstExpr*> residual;
+
+  for (const AstExpr* conjunct : conjuncts) {
+    std::vector<bool> used(stmt.from.size(), false);
+    CollectTables(*conjunct, scope, used);
+    const size_t num_used =
+        static_cast<size_t>(std::count(used.begin(), used.end(), true));
+    if (num_used <= 1) {
+      size_t t = 0;
+      while (t < used.size() && !used[t]) ++t;
+      if (t == used.size()) t = 0;  // Constant predicate: attach to table 0.
+      table_filters[t].push_back(conjunct);
+      continue;
+    }
+    // col = col across exactly two tables becomes a hash-join key.
+    if (num_used == 2 && conjunct->kind == AstKind::kCompare &&
+        conjunct->compare_op == ra::CompareOp::kEq &&
+        conjunct->lhs->kind == AstKind::kColumn &&
+        conjunct->rhs->kind == AstKind::kColumn) {
+      const size_t li =
+          scope.Resolve(conjunct->lhs->qualifier, conjunct->lhs->column, nullptr);
+      const size_t ri =
+          scope.Resolve(conjunct->rhs->qualifier, conjunct->rhs->column, nullptr);
+      size_t lt = scope.TableOf(li);
+      size_t rt = scope.TableOf(ri);
+      size_t lc = li, rc = ri;
+      if (lt > rt) {
+        std::swap(lt, rt);
+        std::swap(lc, rc);
+      }
+      join_keys.push_back({lt, lc, rt, rc});
+      continue;
+    }
+    residual.push_back(conjunct);
+  }
+
+  // --- Base scans with pushed filters --------------------------------------
+  std::vector<ra::PlanPtr> inputs;
+  for (size_t t = 0; t < stmt.from.size(); ++t) {
+    ra::PlanPtr node = std::make_unique<ra::ScanNode>(stmt.from[t].table,
+                                                      tables[t]->schema());
+    for (const AstExpr* filter : table_filters[t]) {
+      // Rebase global column indexes onto this table's local layout.
+      const int64_t shift = -static_cast<int64_t>(scope.table_offset(t));
+      node = std::make_unique<ra::SelectNode>(
+          std::move(node), LowerScalar(*filter, scope, shift));
+    }
+    inputs.push_back(std::move(node));
+  }
+
+  // --- Left-deep joins in FROM order ---------------------------------------
+  ra::PlanPtr plan = std::move(inputs[0]);
+  size_t joined_arity = tables[0]->schema().arity();
+  for (size_t t = 1; t < inputs.size(); ++t) {
+    std::vector<size_t> left_keys, right_keys;
+    for (const auto& key : join_keys) {
+      if (key.right_table == t && key.left_table < t) {
+        // Left side of the join tree preserves global indexes for tables
+        // 0..t-1 because joins concatenate in FROM order.
+        left_keys.push_back(key.left_col);
+        right_keys.push_back(key.right_col - scope.table_offset(t));
+      }
+    }
+    plan = std::make_unique<ra::JoinNode>(std::move(plan), std::move(inputs[t]),
+                                          std::move(left_keys),
+                                          std::move(right_keys), nullptr);
+    joined_arity += tables[t]->schema().arity();
+  }
+  (void)joined_arity;
+
+  // --- Residual cross-table predicates --------------------------------------
+  for (const AstExpr* pred : residual) {
+    plan = std::make_unique<ra::SelectNode>(std::move(plan),
+                                            LowerScalar(*pred, scope));
+  }
+
+  // --- Aggregation ----------------------------------------------------------
+  bool has_aggregate = !stmt.group_by.empty() || stmt.having != nullptr;
+  for (const auto& item : stmt.items) {
+    if (item.expr->ContainsAggregate()) has_aggregate = true;
+  }
+
+  if (has_aggregate) {
+    FGPDB_CHECK(!stmt.select_star) << "SELECT * with aggregation unsupported";
+    // Group-by columns (must be plain column refs).
+    std::vector<size_t> group_cols;
+    std::map<size_t, size_t> group_slots;  // global col -> output slot
+    for (const auto& g : stmt.group_by) {
+      FGPDB_CHECK(g->kind == AstKind::kColumn)
+          << "GROUP BY supports plain columns, got " << g->ToString();
+      const size_t index = scope.Resolve(g->qualifier, g->column, nullptr);
+      group_slots[index] = group_cols.size();
+      group_cols.push_back(index);
+    }
+    // Unique aggregate calls from SELECT and HAVING.
+    std::vector<const AstExpr*> agg_calls;
+    for (const auto& item : stmt.items) CollectAggregates(*item.expr, agg_calls);
+    if (stmt.having != nullptr) CollectAggregates(*stmt.having, agg_calls);
+    std::unordered_map<std::string, size_t> agg_slots;
+    std::vector<ra::AggregateSpec> specs;
+    for (const AstExpr* call : agg_calls) {
+      const std::string key = call->ToString();
+      if (agg_slots.count(key) > 0) continue;
+      ra::AggregateSpec spec;
+      spec.kind = ToSpecKind(call->agg_func);
+      if (call->agg_argument != nullptr) {
+        spec.argument = LowerScalar(*call->agg_argument, scope);
+      }
+      spec.output_name = key;
+      agg_slots[key] = group_cols.size() + specs.size();
+      specs.push_back(std::move(spec));
+    }
+    plan = std::make_unique<ra::AggregateNode>(std::move(plan), group_cols,
+                                               std::move(specs));
+    // HAVING over the aggregate output.
+    if (stmt.having != nullptr) {
+      plan = std::make_unique<ra::SelectNode>(
+          std::move(plan),
+          LowerOverAggregate(*stmt.having, scope, agg_slots, group_slots));
+    }
+    // SELECT list over the aggregate output.
+    std::vector<ra::ExprPtr> outputs;
+    std::vector<std::string> names;
+    for (const auto& item : stmt.items) {
+      outputs.push_back(
+          LowerOverAggregate(*item.expr, scope, agg_slots, group_slots));
+      names.push_back(DeriveName(item));
+    }
+    DedupeNames(&names);
+    plan = std::make_unique<ra::ProjectNode>(std::move(plan),
+                                             std::move(outputs), names);
+  } else if (!stmt.select_star) {
+    std::vector<ra::ExprPtr> outputs;
+    std::vector<std::string> names;
+    for (const auto& item : stmt.items) {
+      outputs.push_back(LowerScalar(*item.expr, scope));
+      names.push_back(DeriveName(item));
+    }
+    DedupeNames(&names);
+    plan = std::make_unique<ra::ProjectNode>(std::move(plan),
+                                             std::move(outputs), names);
+  }
+
+  if (stmt.distinct) plan = std::make_unique<ra::DistinctNode>(std::move(plan));
+
+  if (!stmt.order_by.empty()) {
+    std::vector<size_t> keys;
+    for (const auto& item : stmt.order_by) {
+      keys.push_back(plan->output_schema().RequireIndexOf(item.column));
+    }
+    plan = std::make_unique<ra::OrderByNode>(std::move(plan), std::move(keys),
+                                             stmt.order_ascending);
+  }
+  if (stmt.limit.has_value()) {
+    plan = std::make_unique<ra::LimitNode>(std::move(plan), *stmt.limit);
+  }
+  return plan;
+}
+
+ra::PlanPtr PlanQuery(const std::string& query, const Database& db) {
+  return Bind(Parse(query), db);
+}
+
+}  // namespace sql
+}  // namespace fgpdb

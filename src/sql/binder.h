@@ -1,0 +1,27 @@
+// Binds a parsed SELECT statement against the catalog and lowers it to an
+// executable ra:: plan: scans with pushed-down single-table filters, hash
+// joins extracted from cross-table equality conjuncts, grouping/aggregation,
+// HAVING, projection, DISTINCT, ORDER BY, LIMIT.
+#ifndef FGPDB_SQL_BINDER_H_
+#define FGPDB_SQL_BINDER_H_
+
+#include <string>
+
+#include "ra/plan.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace fgpdb {
+namespace sql {
+
+/// Lowers `stmt` to a plan. Fatal on unresolvable names or unsupported
+/// shapes (e.g. aggregates nested inside aggregates).
+ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db);
+
+/// Parse + bind in one step.
+ra::PlanPtr PlanQuery(const std::string& query, const Database& db);
+
+}  // namespace sql
+}  // namespace fgpdb
+
+#endif  // FGPDB_SQL_BINDER_H_

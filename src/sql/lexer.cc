@@ -1,0 +1,127 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fgpdb {
+namespace sql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",  "WHERE",    "GROUP",  "BY",    "HAVING", "ORDER",
+      "LIMIT",  "AND",   "OR",       "NOT",    "AS",    "COUNT",  "SUM",
+      "MIN",    "MAX",   "AVG",      "COUNT_IF", "DISTINCT", "ASC", "DESC",
+      "NULL",   "TRUE",  "FALSE", "BETWEEN", "IN", "IS", "LIKE",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      std::string word = input.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back({TokenType::kKeyword, std::move(upper), start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, std::move(word), start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') is_float = true;
+        ++j;
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // Escaped quote ''.
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += input[j++];
+      }
+      FGPDB_CHECK(closed) << "unterminated string literal at " << start;
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      i = j;
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = [&](const char* sym) {
+      tokens.push_back({TokenType::kSymbol, sym, start});
+      i += 2;
+    };
+    if (i + 1 < n) {
+      const char d = input[i + 1];
+      if (c == '<' && d == '>') {
+        two("<>");
+        continue;
+      }
+      if (c == '<' && d == '=') {
+        two("<=");
+        continue;
+      }
+      if (c == '>' && d == '=') {
+        two(">=");
+        continue;
+      }
+      if (c == '!' && d == '=') {
+        two("<>");
+        continue;
+      }
+    }
+    static const std::string kSingles = "(),.*=<>+-/";
+    FGPDB_CHECK(kSingles.find(c) != std::string::npos)
+        << "unexpected character '" << c << "' at " << start;
+    tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+    ++i;
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace fgpdb

@@ -1,0 +1,42 @@
+// SQL tokenizer for the query subset used by the paper's workloads
+// (Queries 1-4 and the examples).
+#ifndef FGPDB_SQL_LEXER_H_
+#define FGPDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace fgpdb {
+namespace sql {
+
+enum class TokenType {
+  kIdentifier,   // TOKEN, T1, doc_id
+  kKeyword,      // SELECT, FROM, ... (uppercased)
+  kString,       // 'B-PER'
+  kInteger,      // 42
+  kFloat,        // 3.5
+  kSymbol,       // ( ) , . * = <> < <= > >= + - /
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // Keywords uppercased; identifiers/literals verbatim.
+  size_t position = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes `input`; fatal (with position) on malformed input. The final
+/// token is always kEnd.
+std::vector<Token> Lex(const std::string& input);
+
+}  // namespace sql
+}  // namespace fgpdb
+
+#endif  // FGPDB_SQL_LEXER_H_

@@ -1,0 +1,334 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace sql {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& query) : tokens_(Lex(query)) {}
+
+  SelectStatement ParseStatement() {
+    SelectStatement stmt;
+    Expect("SELECT");
+    if (Accept("DISTINCT")) stmt.distinct = true;
+    if (AcceptSymbol("*")) {
+      stmt.select_star = true;
+    } else {
+      do {
+        SelectItem item;
+        item.expr = ParseExpr();
+        if (Accept("AS")) item.alias = ExpectIdentifier();
+        stmt.items.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    Expect("FROM");
+    do {
+      TableRef ref;
+      ref.table = ExpectIdentifier();
+      if (Peek().type == TokenType::kIdentifier) {
+        ref.alias = ExpectIdentifier();
+      } else {
+        ref.alias = ref.table;
+      }
+      stmt.from.push_back(std::move(ref));
+    } while (AcceptSymbol(","));
+    if (Accept("WHERE")) stmt.where = ParseExpr();
+    if (Accept("GROUP")) {
+      Expect("BY");
+      do {
+        stmt.group_by.push_back(ParseExpr());
+      } while (AcceptSymbol(","));
+    }
+    if (Accept("HAVING")) stmt.having = ParseExpr();
+    if (Accept("ORDER")) {
+      Expect("BY");
+      do {
+        OrderItem item;
+        item.column = ExpectIdentifier();
+        stmt.order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+      if (Accept("DESC")) {
+        stmt.order_ascending = false;
+      } else {
+        Accept("ASC");
+      }
+    }
+    if (Accept("LIMIT")) {
+      const Token t = Next();
+      FGPDB_CHECK(t.type == TokenType::kInteger) << "LIMIT expects an integer";
+      stmt.limit = static_cast<size_t>(std::stoll(t.text));
+    }
+    FGPDB_CHECK(Peek().type == TokenType::kEnd)
+        << "trailing input at position " << Peek().position << ": '"
+        << Peek().text << "'";
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  Token Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool Accept(const char* keyword) {
+    if (Peek().IsKeyword(keyword)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void Expect(const char* keyword) {
+    FGPDB_CHECK(Accept(keyword)) << "expected " << keyword << " at position "
+                                 << Peek().position << ", got '" << Peek().text
+                                 << "'";
+  }
+
+  void ExpectSymbol(const char* sym) {
+    FGPDB_CHECK(AcceptSymbol(sym)) << "expected '" << sym << "' at position "
+                                   << Peek().position << ", got '"
+                                   << Peek().text << "'";
+  }
+
+  std::string ExpectIdentifier() {
+    const Token t = Next();
+    FGPDB_CHECK(t.type == TokenType::kIdentifier)
+        << "expected identifier at position " << t.position << ", got '"
+        << t.text << "'";
+    return t.text;
+  }
+
+  // expr := or
+  AstExprPtr ParseExpr() { return ParseOr(); }
+
+  AstExprPtr ParseOr() {
+    AstExprPtr lhs = ParseAnd();
+    while (Accept("OR")) {
+      lhs = MakeLogical(ra::LogicalOp::kOr, std::move(lhs), ParseAnd());
+    }
+    return lhs;
+  }
+
+  AstExprPtr ParseAnd() {
+    AstExprPtr lhs = ParseNot();
+    while (Accept("AND")) {
+      lhs = MakeLogical(ra::LogicalOp::kAnd, std::move(lhs), ParseNot());
+    }
+    return lhs;
+  }
+
+  AstExprPtr ParseNot() {
+    if (Accept("NOT")) {
+      return MakeLogical(ra::LogicalOp::kNot, ParseNot(), nullptr);
+    }
+    return ParseComparison();
+  }
+
+  AstExprPtr ParseComparison() {
+    AstExprPtr lhs = ParseAdditive();
+    // Postfix predicates: IS [NOT] NULL, [NOT] LIKE, [NOT] IN, BETWEEN.
+    if (Accept("IS")) {
+      const bool negated = Accept("NOT");
+      Expect("NULL");
+      return MakeIsNull(std::move(lhs), negated);
+    }
+    bool negate_postfix = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("LIKE") || Peek(1).IsKeyword("IN") ||
+         Peek(1).IsKeyword("BETWEEN"))) {
+      Next();
+      negate_postfix = true;
+    }
+    if (Accept("LIKE")) {
+      const Token t = Next();
+      FGPDB_CHECK(t.type == TokenType::kString)
+          << "LIKE expects a string pattern";
+      AstExprPtr like = MakeLike(std::move(lhs), t.text);
+      return negate_postfix
+                 ? MakeLogical(ra::LogicalOp::kNot, std::move(like), nullptr)
+                 : std::move(like);
+    }
+    if (Accept("IN")) {
+      // Sugar: x IN (a, b, c)  ->  (x=a OR x=b OR x=c).
+      ExpectSymbol("(");
+      AstExprPtr disjunction;
+      do {
+        AstExprPtr candidate = ParseExpr();
+        AstExprPtr eq =
+            MakeCompare(ra::CompareOp::kEq, lhs->Clone(), std::move(candidate));
+        disjunction = disjunction == nullptr
+                          ? std::move(eq)
+                          : MakeLogical(ra::LogicalOp::kOr,
+                                        std::move(disjunction), std::move(eq));
+      } while (AcceptSymbol(","));
+      ExpectSymbol(")");
+      return negate_postfix ? MakeLogical(ra::LogicalOp::kNot,
+                                          std::move(disjunction), nullptr)
+                            : std::move(disjunction);
+    }
+    if (Accept("BETWEEN")) {
+      // Sugar: x BETWEEN a AND b  ->  (x >= a AND x <= b).
+      AstExprPtr low = ParseAdditive();
+      Expect("AND");
+      AstExprPtr high = ParseAdditive();
+      // Sequence the clone before any move of lhs (argument evaluation
+      // order is unspecified).
+      AstExprPtr lhs_copy = lhs->Clone();
+      AstExprPtr range = MakeLogical(
+          ra::LogicalOp::kAnd,
+          MakeCompare(ra::CompareOp::kGe, std::move(lhs_copy), std::move(low)),
+          MakeCompare(ra::CompareOp::kLe, std::move(lhs), std::move(high)));
+      return negate_postfix ? MakeLogical(ra::LogicalOp::kNot,
+                                          std::move(range), nullptr)
+                            : std::move(range);
+    }
+    ra::CompareOp op;
+    if (AcceptSymbol("=")) {
+      op = ra::CompareOp::kEq;
+    } else if (AcceptSymbol("<>")) {
+      op = ra::CompareOp::kNe;
+    } else if (AcceptSymbol("<=")) {
+      op = ra::CompareOp::kLe;
+    } else if (AcceptSymbol(">=")) {
+      op = ra::CompareOp::kGe;
+    } else if (AcceptSymbol("<")) {
+      op = ra::CompareOp::kLt;
+    } else if (AcceptSymbol(">")) {
+      op = ra::CompareOp::kGt;
+    } else {
+      return lhs;
+    }
+    return MakeCompare(op, std::move(lhs), ParseAdditive());
+  }
+
+  AstExprPtr ParseAdditive() {
+    AstExprPtr lhs = ParseMultiplicative();
+    while (true) {
+      if (AcceptSymbol("+")) {
+        lhs = MakeArithmetic(ra::ArithmeticOp::kAdd, std::move(lhs),
+                             ParseMultiplicative());
+      } else if (AcceptSymbol("-")) {
+        lhs = MakeArithmetic(ra::ArithmeticOp::kSub, std::move(lhs),
+                             ParseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  AstExprPtr ParseMultiplicative() {
+    AstExprPtr lhs = ParsePrimary();
+    while (true) {
+      if (AcceptSymbol("*")) {
+        lhs = MakeArithmetic(ra::ArithmeticOp::kMul, std::move(lhs),
+                             ParsePrimary());
+      } else if (AcceptSymbol("/")) {
+        lhs = MakeArithmetic(ra::ArithmeticOp::kDiv, std::move(lhs),
+                             ParsePrimary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  AstExprPtr ParsePrimary() {
+    const Token& t = Peek();
+    // Aggregate calls.
+    if (t.type == TokenType::kKeyword) {
+      AggFunc func;
+      bool is_agg = true;
+      if (t.text == "COUNT") {
+        func = AggFunc::kCount;
+      } else if (t.text == "COUNT_IF") {
+        func = AggFunc::kCountIf;
+      } else if (t.text == "SUM") {
+        func = AggFunc::kSum;
+      } else if (t.text == "MIN") {
+        func = AggFunc::kMin;
+      } else if (t.text == "MAX") {
+        func = AggFunc::kMax;
+      } else if (t.text == "AVG") {
+        func = AggFunc::kAvg;
+      } else {
+        is_agg = false;
+      }
+      if (is_agg) {
+        Next();
+        ExpectSymbol("(");
+        AstExprPtr argument;
+        if (AcceptSymbol("*")) {
+          FGPDB_CHECK(func == AggFunc::kCount) << "only COUNT(*) supports *";
+        } else {
+          if (func == AggFunc::kCount && Accept("DISTINCT")) {
+            func = AggFunc::kCountDistinct;
+          }
+          argument = ParseExpr();
+        }
+        ExpectSymbol(")");
+        return MakeAggregate(func, std::move(argument));
+      }
+      if (Accept("NULL")) return MakeLiteral(Value::Null());
+      if (Accept("TRUE")) return MakeLiteral(Value::Int(1));
+      if (Accept("FALSE")) return MakeLiteral(Value::Int(0));
+    }
+    if (t.type == TokenType::kIdentifier) {
+      std::string first = ExpectIdentifier();
+      if (AcceptSymbol(".")) {
+        std::string second = ExpectIdentifier();
+        return MakeColumn(std::move(first), std::move(second));
+      }
+      return MakeColumn("", std::move(first));
+    }
+    if (t.type == TokenType::kString) {
+      Next();
+      return MakeLiteral(Value::String(t.text));
+    }
+    if (t.type == TokenType::kInteger) {
+      Next();
+      return MakeLiteral(Value::Int(std::stoll(t.text)));
+    }
+    if (t.type == TokenType::kFloat) {
+      Next();
+      return MakeLiteral(Value::Double(std::stod(t.text)));
+    }
+    if (AcceptSymbol("(")) {
+      AstExprPtr inner = ParseExpr();
+      ExpectSymbol(")");
+      return inner;
+    }
+    if (AcceptSymbol("-")) {  // Unary minus via 0 - x.
+      return MakeArithmetic(ra::ArithmeticOp::kSub, MakeLiteral(Value::Int(0)),
+                            ParsePrimary());
+    }
+    FGPDB_FATAL() << "unexpected token '" << t.text << "' at position "
+                  << t.position;
+    return nullptr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+SelectStatement Parse(const std::string& query) {
+  Parser parser(query);
+  return parser.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace fgpdb

@@ -1,0 +1,188 @@
+#include "storage/csv_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fgpdb {
+namespace {
+
+void WriteField(const Value& v, std::ostream& os) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return;  // Empty field.
+    case ValueType::kInt64:
+      os << v.AsInt();
+      return;
+    case ValueType::kDouble: {
+      std::ostringstream tmp;
+      tmp.precision(17);
+      tmp << v.AsDouble();
+      os << tmp.str();
+      return;
+    }
+    case ValueType::kString: {
+      os << '"';
+      for (char c : v.AsString()) {
+        if (c == '"') os << '"';
+        os << c;
+      }
+      os << '"';
+      return;
+    }
+  }
+}
+
+// Splits one CSV line honoring quoted fields.
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      std::vector<bool>* quoted) {
+  std::vector<std::string> fields;
+  quoted->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      quoted->push_back(was_quoted);
+      field.clear();
+      was_quoted = false;
+    } else {
+      field += c;
+    }
+  }
+  FGPDB_CHECK(!in_quotes) << "unterminated quote in CSV line";
+  fields.push_back(std::move(field));
+  quoted->push_back(was_quoted);
+  return fields;
+}
+
+Value ParseField(const std::string& text, bool quoted, ValueType type) {
+  if (!quoted && text.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64:
+      return Value::Int(std::stoll(text));
+    case ValueType::kDouble:
+      return Value::Double(std::stod(text));
+    case ValueType::kString:
+      return Value::String(text);
+    case ValueType::kNull:
+      // Columns typed NULL hold whatever the data says; infer int else str.
+      if (!quoted) {
+        try {
+          size_t pos = 0;
+          const int64_t v = std::stoll(text, &pos);
+          if (pos == text.size()) return Value::Int(v);
+        } catch (...) {
+        }
+      }
+      return Value::String(text);
+  }
+  return Value::Null();
+}
+
+ValueType ParseTypeName(const std::string& name) {
+  if (name == "INT64") return ValueType::kInt64;
+  if (name == "DOUBLE") return ValueType::kDouble;
+  if (name == "STRING") return ValueType::kString;
+  if (name == "NULL") return ValueType::kNull;
+  FGPDB_FATAL() << "unknown type name " << name;
+  return ValueType::kNull;
+}
+
+}  // namespace
+
+void WriteTableCsv(const Table& table, std::ostream& os) {
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (i > 0) os << ",";
+    os << schema.attribute(i).name << ":"
+       << ValueTypeName(schema.attribute(i).type);
+    if (schema.primary_key() == i) os << ":pk";
+  }
+  os << "\n";
+  table.Scan([&](RowId, const Tuple& t) {
+    for (size_t i = 0; i < t.arity(); ++i) {
+      if (i > 0) os << ",";
+      WriteField(t.at(i), os);
+    }
+    os << "\n";
+  });
+}
+
+std::unique_ptr<Table> ReadTableCsv(const std::string& name,
+                                    std::istream& is) {
+  std::string header;
+  FGPDB_CHECK(static_cast<bool>(std::getline(is, header)))
+      << "empty CSV for table " << name;
+  std::vector<Attribute> attrs;
+  std::optional<size_t> pk;
+  for (const std::string& column : Split(header, ',')) {
+    const auto parts = Split(column, ':');
+    FGPDB_CHECK_GE(parts.size(), 2u) << "bad CSV header field " << column;
+    attrs.push_back(Attribute{parts[0], ParseTypeName(parts[1])});
+    if (parts.size() >= 3 && parts[2] == "pk") pk = attrs.size() - 1;
+  }
+  auto table = std::make_unique<Table>(name, Schema(attrs, pk));
+  std::string line;
+  std::vector<bool> quoted;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = SplitCsvLine(line, &quoted);
+    FGPDB_CHECK_EQ(fields.size(), attrs.size())
+        << "row arity mismatch in table " << name;
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      values.push_back(ParseField(fields[i], quoted[i], attrs[i].type));
+    }
+    table->Insert(Tuple(std::move(values)));
+  }
+  return table;
+}
+
+void SaveDatabaseCsv(const Database& db, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  for (const std::string& name : db.TableNames()) {
+    const std::string path = dir + "/" + name + ".csv";
+    std::ofstream os(path);
+    FGPDB_CHECK(os.good()) << "cannot write " << path;
+    WriteTableCsv(*db.RequireTable(name), os);
+    FGPDB_CHECK(os.good()) << "write failed for " << path;
+  }
+}
+
+std::unique_ptr<Database> LoadDatabaseCsv(const std::string& dir) {
+  auto db = std::make_unique<Database>();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".csv") continue;
+    const std::string name = entry.path().stem().string();
+    std::ifstream is(entry.path());
+    FGPDB_CHECK(is.good()) << "cannot read " << entry.path().string();
+    auto table = ReadTableCsv(name, is);
+    // Move into the catalog via insert-preserving copy.
+    Table* dest = db->CreateTable(name, table->schema());
+    table->Scan([&](RowId, const Tuple& t) { dest->Insert(t); });
+  }
+  return db;
+}
+
+}  // namespace fgpdb

@@ -1,0 +1,33 @@
+// CSV persistence for tables and databases.
+//
+// The paper's system stores worlds in an on-disk DBMS; this gives fgpdb a
+// simple durable form: each table serializes to a CSV file with a typed
+// header row, and a Database maps to a directory of such files. Used by
+// examples and tooling to checkpoint / restore sampled worlds.
+#ifndef FGPDB_STORAGE_CSV_IO_H_
+#define FGPDB_STORAGE_CSV_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/database.h"
+
+namespace fgpdb {
+
+/// Writes `table` as CSV: first line "name:TYPE[:pk],..." then one line per
+/// live row. Strings are quoted with '"' and internal quotes doubled.
+void WriteTableCsv(const Table& table, std::ostream& os);
+
+/// Reads a table serialized by WriteTableCsv. Fatal on malformed input.
+std::unique_ptr<Table> ReadTableCsv(const std::string& name, std::istream& is);
+
+/// Saves every table of `db` as `<dir>/<table>.csv`. Creates `dir` if
+/// needed. Fatal on I/O errors.
+void SaveDatabaseCsv(const Database& db, const std::string& dir);
+
+/// Loads every `*.csv` in `dir` into a fresh Database.
+std::unique_ptr<Database> LoadDatabaseCsv(const std::string& dir);
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_STORAGE_CSV_IO_H_

@@ -1,0 +1,60 @@
+#include "storage/database.h"
+
+#include "util/logging.h"
+
+namespace fgpdb {
+
+Table* Database::CreateTable(const std::string& name, Schema schema) {
+  FGPDB_CHECK(tables_.count(name) == 0) << "table exists: " << name;
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::RequireTable(const std::string& name) {
+  Table* table = GetTable(name);
+  FGPDB_CHECK(table != nullptr) << "no such table: " << name;
+  return table;
+}
+
+const Table* Database::RequireTable(const std::string& name) const {
+  const Table* table = GetTable(name);
+  FGPDB_CHECK(table != nullptr) << "no such table: " << name;
+  return table;
+}
+
+void Database::DropTable(const std::string& name) {
+  const auto erased = tables_.erase(name);
+  FGPDB_CHECK_EQ(erased, 1u) << "no such table: " << name;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::unique_ptr<Database> Database::Clone() const {
+  auto copy = std::make_unique<Database>();
+  for (const auto& [name, table] : tables_) {
+    copy->tables_.emplace(name, table->Clone());
+  }
+  return copy;
+}
+
+}  // namespace fgpdb

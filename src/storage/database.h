@@ -1,0 +1,45 @@
+// Database: a named catalog of tables. One Database instance always holds a
+// single deterministic possible world (paper §3).
+#ifndef FGPDB_STORAGE_DATABASE_H_
+#define FGPDB_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace fgpdb {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Creates an empty table; fatal if the name exists.
+  Table* CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table; nullptr if absent.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Looks up a table; fatal if absent.
+  Table* RequireTable(const std::string& name);
+  const Table* RequireTable(const std::string& name) const;
+
+  /// Drops a table; fatal if absent.
+  void DropTable(const std::string& name);
+
+  /// Names of all tables (unspecified order).
+  std::vector<std::string> TableNames() const;
+
+  /// Deep copy of the entire world (paper §5.4 parallel chains).
+  std::unique_ptr<Database> Clone() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_STORAGE_DATABASE_H_

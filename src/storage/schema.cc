@@ -1,0 +1,56 @@
+#include "storage/schema.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fgpdb {
+
+Schema::Schema(std::vector<Attribute> attributes,
+               std::optional<size_t> primary_key)
+    : attributes_(std::move(attributes)), primary_key_(primary_key) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    const bool inserted = by_name_.emplace(attributes_[i].name, i).second;
+    FGPDB_CHECK(inserted) << "duplicate attribute " << attributes_[i].name;
+  }
+  if (primary_key_.has_value()) {
+    FGPDB_CHECK_LT(*primary_key_, attributes_.size());
+  }
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Schema::RequireIndexOf(const std::string& name) const {
+  const auto idx = IndexOf(name);
+  FGPDB_CHECK(idx.has_value()) << "unknown attribute " << name;
+  return *idx;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size());
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    std::string part = attributes_[i].name;
+    part += " ";
+    part += ValueTypeName(attributes_[i].type);
+    if (primary_key_ == i) part += " PRIMARY KEY";
+    parts.push_back(std::move(part));
+  }
+  return Join(parts, ", ");
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].type != other.attributes_[i].type) {
+      return false;
+    }
+  }
+  return primary_key_ == other.primary_key_;
+}
+
+}  // namespace fgpdb

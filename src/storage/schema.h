@@ -1,0 +1,51 @@
+// Relation schemas: named, typed attributes with an optional primary key.
+#ifndef FGPDB_STORAGE_SCHEMA_H_
+#define FGPDB_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace fgpdb {
+
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes,
+                  std::optional<size_t> primary_key = std::nullopt);
+
+  size_t arity() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_.at(i); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Index of the attribute named `name`; fatal if absent.
+  size_t RequireIndexOf(const std::string& name) const;
+
+  /// Column index of the primary key, if declared.
+  std::optional<size_t> primary_key() const { return primary_key_; }
+
+  /// "name TYPE, name TYPE, ..." rendering.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, size_t> by_name_;
+  std::optional<size_t> primary_key_;
+};
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_STORAGE_SCHEMA_H_

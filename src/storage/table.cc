@@ -1,0 +1,135 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+
+const std::vector<RowId> Table::kEmptyRowList;
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+RowId Table::Insert(Tuple tuple) {
+  FGPDB_CHECK_EQ(tuple.arity(), schema_.arity())
+      << "arity mismatch inserting into " << name_;
+  const RowId row = rows_.size();
+  if (schema_.primary_key().has_value()) {
+    const Value& key = tuple.at(*schema_.primary_key());
+    const bool inserted = pk_index_.emplace(key, row).second;
+    FGPDB_CHECK(inserted) << "duplicate primary key " << key.ToString()
+                          << " in " << name_;
+  }
+  for (auto& [column, index] : secondary_indexes_) {
+    (void)index;
+    IndexInsert(column, tuple.at(column), row);
+  }
+  rows_.push_back(std::move(tuple));
+  deleted_.push_back(false);
+  ++live_rows_;
+  return row;
+}
+
+void Table::Delete(RowId row) {
+  FGPDB_CHECK(IsLive(row)) << "delete of dead row " << row << " in " << name_;
+  const Tuple& tuple = rows_[row];
+  if (schema_.primary_key().has_value()) {
+    pk_index_.erase(tuple.at(*schema_.primary_key()));
+  }
+  for (auto& [column, index] : secondary_indexes_) {
+    (void)index;
+    IndexErase(column, tuple.at(column), row);
+  }
+  deleted_[row] = true;
+  --live_rows_;
+}
+
+const Tuple& Table::Get(RowId row) const {
+  FGPDB_CHECK(IsLive(row)) << "get of dead row " << row << " in " << name_;
+  return rows_[row];
+}
+
+Value Table::UpdateField(RowId row, size_t column, Value value) {
+  FGPDB_CHECK(IsLive(row)) << "update of dead row " << row << " in " << name_;
+  FGPDB_CHECK_LT(column, schema_.arity());
+  Tuple& tuple = rows_[row];
+  Value old = tuple.at(column);
+  if (old == value) return old;
+  if (schema_.primary_key() == column) {
+    pk_index_.erase(old);
+    const bool inserted = pk_index_.emplace(value, row).second;
+    FGPDB_CHECK(inserted) << "primary key collision updating " << name_;
+  }
+  if (secondary_indexes_.count(column) > 0) {
+    IndexErase(column, old, row);
+    IndexInsert(column, value, row);
+  }
+  tuple.at(column) = std::move(value);
+  return old;
+}
+
+RowId Table::LookupByKey(const Value& key) const {
+  const auto it = pk_index_.find(key);
+  return it == pk_index_.end() ? kInvalidRowId : it->second;
+}
+
+void Table::CreateIndex(size_t column) {
+  FGPDB_CHECK_LT(column, schema_.arity());
+  auto& index = secondary_indexes_[column];
+  index.clear();
+  for (RowId row = 0; row < rows_.size(); ++row) {
+    if (!deleted_[row]) index[rows_[row].at(column)].push_back(row);
+  }
+}
+
+const std::vector<RowId>& Table::IndexLookup(size_t column,
+                                             const Value& value) const {
+  const auto index_it = secondary_indexes_.find(column);
+  FGPDB_CHECK(index_it != secondary_indexes_.end())
+      << "no index on column " << column << " of " << name_;
+  const auto it = index_it->second.find(value);
+  return it == index_it->second.end() ? kEmptyRowList : it->second;
+}
+
+void Table::Scan(const std::function<void(RowId, const Tuple&)>& fn) const {
+  for (RowId row = 0; row < rows_.size(); ++row) {
+    if (!deleted_[row]) fn(row, rows_[row]);
+  }
+}
+
+std::vector<Tuple> Table::Rows() const {
+  std::vector<Tuple> out;
+  out.reserve(live_rows_);
+  Scan([&](RowId, const Tuple& t) { out.push_back(t); });
+  return out;
+}
+
+std::unique_ptr<Table> Table::Clone() const {
+  auto copy = std::make_unique<Table>(name_, schema_);
+  copy->rows_ = rows_;
+  copy->deleted_ = deleted_;
+  copy->live_rows_ = live_rows_;
+  copy->pk_index_ = pk_index_;
+  copy->secondary_indexes_ = secondary_indexes_;
+  return copy;
+}
+
+void Table::IndexInsert(size_t column, const Value& value, RowId row) {
+  secondary_indexes_[column][value].push_back(row);
+}
+
+void Table::IndexErase(size_t column, const Value& value, RowId row) {
+  auto& index = secondary_indexes_[column];
+  const auto it = index.find(value);
+  FGPDB_CHECK(it != index.end());
+  auto& rows = it->second;
+  const auto pos = std::find(rows.begin(), rows.end(), row);
+  FGPDB_CHECK(pos != rows.end());
+  // Swap-and-pop: index postings are unordered.
+  *pos = rows.back();
+  rows.pop_back();
+  if (rows.empty()) index.erase(it);
+}
+
+}  // namespace fgpdb

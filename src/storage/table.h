@@ -1,0 +1,103 @@
+// In-memory row-store table with a stable row-id space, optional primary-key
+// index, and secondary hash indexes.
+//
+// This (plus the executor in src/ra) plays the role the paper assigns to
+// Apache Derby: a blackbox relational engine that always stores a single
+// possible world. Uncertain fields are updated in place by the MCMC driver
+// via UpdateField.
+#ifndef FGPDB_STORAGE_TABLE_H_
+#define FGPDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace fgpdb {
+
+using RowId = uint64_t;
+inline constexpr RowId kInvalidRowId = ~0ULL;
+
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live (non-deleted) rows.
+  size_t size() const { return live_rows_; }
+
+  /// Upper bound of the row-id space (including tombstones).
+  size_t row_capacity() const { return rows_.size(); }
+
+  /// Inserts a row; returns its stable RowId. Enforces primary-key
+  /// uniqueness when the schema declares one.
+  RowId Insert(Tuple tuple);
+
+  /// Marks a row deleted. Fatal on a dead or out-of-range row.
+  void Delete(RowId row);
+
+  /// True if `row` is live.
+  bool IsLive(RowId row) const {
+    return row < rows_.size() && !deleted_[row];
+  }
+
+  /// Returns the row contents. Fatal on dead rows.
+  const Tuple& Get(RowId row) const;
+
+  /// Overwrites one field; maintains all indexes. Returns the old value.
+  Value UpdateField(RowId row, size_t column, Value value);
+
+  /// Point lookup by primary key; kInvalidRowId if absent.
+  RowId LookupByKey(const Value& key) const;
+
+  /// Builds (or rebuilds) a secondary hash index on `column`.
+  void CreateIndex(size_t column);
+
+  /// True if a secondary index exists on `column`.
+  bool HasIndex(size_t column) const {
+    return secondary_indexes_.count(column) > 0;
+  }
+
+  /// Row-ids whose `column` equals `value`, via the secondary index.
+  /// Fatal if no index exists on the column.
+  const std::vector<RowId>& IndexLookup(size_t column, const Value& value) const;
+
+  /// Invokes `fn` on every live row.
+  void Scan(const std::function<void(RowId, const Tuple&)>& fn) const;
+
+  /// Materializes all live rows (testing convenience).
+  std::vector<Tuple> Rows() const;
+
+  /// Deep copy (used to clone worlds for parallel chains, paper §5.4).
+  std::unique_ptr<Table> Clone() const;
+
+ private:
+  void IndexInsert(size_t column, const Value& value, RowId row);
+  void IndexErase(size_t column, const Value& value, RowId row);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<bool> deleted_;
+  size_t live_rows_ = 0;
+
+  // Primary-key index: key value -> row id.
+  std::unordered_map<Value, RowId, ValueHasher> pk_index_;
+  // Secondary indexes: column -> (value -> row ids).
+  std::unordered_map<size_t,
+                     std::unordered_map<Value, std::vector<RowId>, ValueHasher>>
+      secondary_indexes_;
+  static const std::vector<RowId> kEmptyRowList;
+};
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_STORAGE_TABLE_H_

@@ -1,0 +1,52 @@
+#include "storage/tuple.h"
+
+#include "util/string_util.h"
+
+namespace fgpdb {
+
+Tuple Tuple::Concat(const Tuple& a, const Tuple& b) {
+  std::vector<Value> values;
+  values.reserve(a.arity() + b.arity());
+  values.insert(values.end(), a.values_.begin(), a.values_.end());
+  values.insert(values.end(), b.values_.begin(), b.values_.end());
+  return Tuple(std::move(values));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& columns) const {
+  std::vector<Value> values;
+  values.reserve(columns.size());
+  for (size_t c : columns) values.push_back(at(c));
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const Value& v : values_) parts.push_back(v.ToString());
+  return "(" + Join(parts, ", ") + ")";
+}
+
+bool Tuple::operator==(const Tuple& other) const {
+  if (values_.size() != other.values_.size()) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] != other.values_[i]) return false;
+  }
+  return true;
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  const size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c < 0;
+  }
+  return values_.size() < other.values_.size();
+}
+
+uint64_t Tuple::Hash() const {
+  uint64_t h = 0x61c8864680b583ebULL;
+  for (const Value& v : values_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+}  // namespace fgpdb

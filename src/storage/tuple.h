@@ -1,0 +1,52 @@
+// A Tuple is an ordered list of Values — one row of a relation, and also the
+// unit tracked by the view-maintenance delta multisets.
+#ifndef FGPDB_STORAGE_TUPLE_H_
+#define FGPDB_STORAGE_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace fgpdb {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_.at(i); }
+  Value& at(size_t i) { return values_.at(i); }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenation of two tuples (used by joins / Cartesian products).
+  static Tuple Concat(const Tuple& a, const Tuple& b);
+
+  /// Projection onto the given column indexes.
+  Tuple Project(const std::vector<size_t>& columns) const;
+
+  /// "(v1, v2, ...)" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const;
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const;
+
+  uint64_t Hash() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHasher {
+  size_t operator()(const Tuple& t) const { return static_cast<size_t>(t.Hash()); }
+};
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_STORAGE_TUPLE_H_

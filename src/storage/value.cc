@@ -1,0 +1,106 @@
+#include "storage/value.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fgpdb {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+double Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      FGPDB_FATAL() << "non-numeric value " << ToString();
+  }
+  return 0.0;  // Unreachable.
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return FormatDouble(AsDouble());
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNumericType(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  if (IsNumericType(a) && IsNumericType(b)) {
+    const double x = AsNumeric();
+    const double y = other.AsNumeric();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a != b) return a < b ? -1 : 1;
+  switch (a) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kString: {
+      const int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;  // Unreachable: numeric handled above.
+  }
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(AsInt()) ^ 0x1ULL);
+    case ValueType::kDouble: {
+      // Hash doubles through their integral value when exact so that
+      // Int(2) and Double(2.0) (which compare equal) hash identically.
+      const double d = AsDouble();
+      const int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        return Mix64(static_cast<uint64_t>(i) ^ 0x1ULL);
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits ^ 0x2ULL);
+    }
+    case ValueType::kString:
+      return HashString(AsString());
+  }
+  return 0;
+}
+
+}  // namespace fgpdb

@@ -1,0 +1,74 @@
+// Typed cell values for the relational engine.
+//
+// A Value is one of NULL, INT64, DOUBLE, or STRING. Fields of uncertain
+// relations (paper §3.2) hold Values whose attribute domain doubles as the
+// domain of the corresponding random variable.
+#ifndef FGPDB_STORAGE_VALUE_H_
+#define FGPDB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "util/hash.h"
+
+namespace fgpdb {
+
+enum class ValueType : uint8_t { kNull = 0, kInt64 = 1, kDouble = 2, kString = 3 };
+
+/// Human-readable type name ("NULL", "INT64", ...).
+const char* ValueTypeName(ValueType type);
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const { return static_cast<ValueType>(data_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors; the caller must know the type (checked in debug builds via
+  /// std::get's exception on mismatch).
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: INT64 and DOUBLE both convert; anything else is an error.
+  double AsNumeric() const;
+
+  /// SQL-style rendering; strings are quoted.
+  std::string ToString() const;
+
+  /// Total order across types (NULL < INT64/DOUBLE < STRING); numeric types
+  /// compare by value so Int(2) == Double(2.0).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  uint64_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return static_cast<size_t>(v.Hash()); }
+};
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_STORAGE_VALUE_H_

@@ -1,0 +1,80 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace fgpdb {
+namespace {
+
+std::atomic<int> g_min_level{-1};
+
+int EnvLogLevel() {
+  const char* env = std::getenv("FGPDB_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return static_cast<int>(LogLevel::kInfo);
+  return std::atoi(env);
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* file) {
+  const char* slash = std::strrchr(file, '/');
+  return slash != nullptr ? slash + 1 : file;
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  int level = g_min_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = EnvLogLevel();
+    g_min_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= MinLogLevel()) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line << "] Check failed: "
+          << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::cerr.flush();
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace fgpdb

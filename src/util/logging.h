@@ -1,0 +1,92 @@
+// Lightweight logging and assertion macros for fgpdb.
+//
+// CHECK-style macros abort with a message on failure; they are active in all
+// build types because the library's correctness invariants (e.g. multiset
+// counts never going negative during view maintenance) must hold even in
+// release benchmarking runs.
+#ifndef FGPDB_UTIL_LOGGING_H_
+#define FGPDB_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fgpdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level actually emitted. Controlled by
+/// the FGPDB_LOG_LEVEL environment variable (0=debug .. 3=error); defaults
+/// to kInfo.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum log level (overrides the environment).
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Aborts the process after streaming the message.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Converts a streamed expression to void so CHECK macros can appear in
+// ternary expressions ( `&` binds looser than `<<` ).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace fgpdb
+
+#define FGPDB_LOG(level)                                                    \
+  ::fgpdb::internal::LogMessage(::fgpdb::LogLevel::k##level, __FILE__,      \
+                                __LINE__)                                   \
+      .stream()
+
+#define FGPDB_CHECK(cond)                                                   \
+  (cond) ? (void)0                                                          \
+         : ::fgpdb::internal::Voidify() &                                   \
+               ::fgpdb::internal::FatalLogMessage(__FILE__, __LINE__, #cond) \
+                   .stream()
+
+#define FGPDB_CHECK_OP(op, a, b) FGPDB_CHECK((a)op(b))
+#define FGPDB_CHECK_EQ(a, b) FGPDB_CHECK_OP(==, a, b)
+#define FGPDB_CHECK_NE(a, b) FGPDB_CHECK_OP(!=, a, b)
+#define FGPDB_CHECK_LT(a, b) FGPDB_CHECK_OP(<, a, b)
+#define FGPDB_CHECK_LE(a, b) FGPDB_CHECK_OP(<=, a, b)
+#define FGPDB_CHECK_GT(a, b) FGPDB_CHECK_OP(>, a, b)
+#define FGPDB_CHECK_GE(a, b) FGPDB_CHECK_OP(>=, a, b)
+
+#define FGPDB_FATAL()                                                       \
+  ::fgpdb::internal::FatalLogMessage(__FILE__, __LINE__, "FATAL").stream()
+
+#endif  // FGPDB_UTIL_LOGGING_H_

@@ -1,0 +1,64 @@
+// Small numeric helpers shared across inference and learning code.
+#ifndef FGPDB_UTIL_MATH_UTIL_H_
+#define FGPDB_UTIL_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace fgpdb {
+
+/// Numerically stable log(sum_i exp(x_i)). Returns -inf for empty input.
+inline double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+/// Stable log(exp(a) + exp(b)).
+inline double LogAdd(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+/// Element-wise squared error between two equally sized vectors.
+inline double SquaredError(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  double total = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  // Treat missing entries as zeros (an absent tuple has probability 0).
+  for (size_t i = n; i < a.size(); ++i) total += a[i] * a[i];
+  for (size_t i = n; i < b.size(); ++i) total += b[i] * b[i];
+  return total;
+}
+
+/// Mean of a vector; 0 for empty input.
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// Population variance of a vector; 0 for fewer than two elements.
+inline double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - mu) * (x - mu);
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_UTIL_MATH_UTIL_H_

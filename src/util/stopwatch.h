@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by evaluators and benches.
+#ifndef FGPDB_UTIL_STOPWATCH_H_
+#define FGPDB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fgpdb {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_UTIL_STOPWATCH_H_

@@ -1,0 +1,37 @@
+// String helpers: splitting, joining, case conversion, numeric formatting.
+#ifndef FGPDB_UTIL_STRING_UTIL_H_
+#define FGPDB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgpdb {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (SQL keywords, labels).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string FormatDouble(double value, int digits = 6);
+
+/// Human-readable count, e.g. 1200000 -> "1.2M".
+std::string HumanCount(double n);
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_UTIL_STRING_UTIL_H_

@@ -1,0 +1,34 @@
+// Aligned plain-text table output for the figure benches, so each bench
+// binary prints the same rows/series the paper's figures report, plus a CSV
+// block that downstream plotting can consume.
+#ifndef FGPDB_UTIL_TABLE_PRINTER_H_
+#define FGPDB_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fgpdb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes an aligned, boxed table.
+  void Print(std::ostream& os) const;
+
+  /// Writes the same data as CSV (header row first).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_UTIL_TABLE_PRINTER_H_

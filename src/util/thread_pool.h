@@ -1,0 +1,48 @@
+// Minimal fixed-size thread pool. Used by the parallel multi-chain query
+// evaluator (paper §5.4) to run independent MCMC chains concurrently.
+#ifndef FGPDB_UTIL_THREAD_POOL_H_
+#define FGPDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fgpdb {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` worker threads (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work and joins workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,96 @@
+#include "view/delta.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fgpdb {
+namespace view {
+
+const DeltaMultiset DeltaSet::kEmpty;
+
+void DeltaMultiset::Add(const Tuple& tuple, int64_t count) {
+  if (count == 0) return;
+  auto [it, inserted] = counts_.emplace(tuple, count);
+  if (!inserted) {
+    it->second += count;
+    if (it->second == 0) counts_.erase(it);
+  }
+}
+
+int64_t DeltaMultiset::Count(const Tuple& tuple) const {
+  const auto it = counts_.find(tuple);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void DeltaMultiset::Merge(const DeltaMultiset& other) {
+  for (const auto& [tuple, count] : other.counts_) Add(tuple, count);
+}
+
+void DeltaMultiset::ForEach(
+    const std::function<void(const Tuple&, int64_t)>& fn) const {
+  for (const auto& [tuple, count] : counts_) fn(tuple, count);
+}
+
+int64_t DeltaMultiset::PositiveTotal() const {
+  int64_t total = 0;
+  for (const auto& [tuple, count] : counts_) {
+    (void)tuple;
+    if (count > 0) total += count;
+  }
+  return total;
+}
+
+int64_t DeltaMultiset::NegativeTotal() const {
+  int64_t total = 0;
+  for (const auto& [tuple, count] : counts_) {
+    (void)tuple;
+    if (count < 0) total -= count;
+  }
+  return total;
+}
+
+bool DeltaMultiset::IsNonNegative() const {
+  for (const auto& [tuple, count] : counts_) {
+    (void)tuple;
+    if (count < 0) return false;
+  }
+  return true;
+}
+
+std::string DeltaMultiset::ToString() const {
+  std::vector<std::pair<Tuple, int64_t>> sorted(counts_.begin(), counts_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out = "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sorted[i].first.ToString() + ":" + std::to_string(sorted[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+const DeltaMultiset& DeltaSet::Get(const std::string& table) const {
+  const auto it = per_table_.find(table);
+  return it == per_table_.end() ? kEmpty : it->second;
+}
+
+bool DeltaSet::empty() const {
+  for (const auto& [table, delta] : per_table_) {
+    (void)table;
+    if (!delta.empty()) return false;
+  }
+  return true;
+}
+
+int64_t DeltaSet::TotalMagnitude() const {
+  int64_t total = 0;
+  for (const auto& [table, delta] : per_table_) {
+    (void)table;
+    total += delta.PositiveTotal() + delta.NegativeTotal();
+  }
+  return total;
+}
+
+}  // namespace view
+}  // namespace fgpdb

@@ -1,0 +1,92 @@
+// Signed tuple multisets — the Δ−/Δ+ sets of paper §4.2 in one structure.
+//
+// A DeltaMultiset maps tuples to signed counts: negative entries are the
+// paper's Δ− (tuples leaving the world/view) and positive entries are Δ+
+// (tuples entering). Using one signed structure makes the Blakeley-style
+// rewrites (Eq. 6) linear-algebraic: operators distribute over deltas, and
+// the multiset counters required for projection (the paper's Remark after
+// Eq. 6) fall out naturally.
+#ifndef FGPDB_VIEW_DELTA_H_
+#define FGPDB_VIEW_DELTA_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "storage/tuple.h"
+
+namespace fgpdb {
+namespace view {
+
+class DeltaMultiset {
+ public:
+  using Map = std::unordered_map<Tuple, int64_t, TupleHasher>;
+
+  DeltaMultiset() = default;
+
+  /// Adds `count` (may be negative) occurrences of `tuple`; entries whose
+  /// count reaches zero are erased.
+  void Add(const Tuple& tuple, int64_t count = 1);
+
+  /// Signed count of `tuple` (0 if absent).
+  int64_t Count(const Tuple& tuple) const;
+
+  /// Merges another delta into this one (entry-wise addition).
+  void Merge(const DeltaMultiset& other);
+
+  /// Applies fn(tuple, count) to every non-zero entry.
+  void ForEach(const std::function<void(const Tuple&, int64_t)>& fn) const;
+
+  bool empty() const { return counts_.empty(); }
+  size_t distinct_size() const { return counts_.size(); }
+
+  /// Sum of positive counts (number of inserted tuple instances).
+  int64_t PositiveTotal() const;
+
+  /// Sum of |negative| counts (number of removed tuple instances).
+  int64_t NegativeTotal() const;
+
+  /// True if every count is >= 1 (a plain bag, e.g. a view's contents).
+  bool IsNonNegative() const;
+
+  const Map& entries() const { return counts_; }
+
+  void Clear() { counts_.clear(); }
+
+  bool operator==(const DeltaMultiset& other) const {
+    return counts_ == other.counts_;
+  }
+
+  /// Diagnostic rendering, sorted for determinism.
+  std::string ToString() const;
+
+ private:
+  Map counts_;
+};
+
+/// Per-base-table deltas accumulated between query (re-)evaluations — the
+/// contents of the paper's auxiliary "added"/"deleted" tables.
+class DeltaSet {
+ public:
+  DeltaMultiset& ForTable(const std::string& table) { return per_table_[table]; }
+
+  /// Delta for `table`; a shared empty delta if none recorded.
+  const DeltaMultiset& Get(const std::string& table) const;
+
+  bool empty() const;
+
+  /// Total tuple instances touched across tables (|Δ−| + |Δ+|).
+  int64_t TotalMagnitude() const;
+
+  void Clear() { per_table_.clear(); }
+
+ private:
+  std::unordered_map<std::string, DeltaMultiset> per_table_;
+  static const DeltaMultiset kEmpty;
+};
+
+}  // namespace view
+}  // namespace fgpdb
+
+#endif  // FGPDB_VIEW_DELTA_H_

@@ -1,0 +1,480 @@
+#include "view/incremental.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace view {
+namespace {
+
+using ra::AggregateSpec;
+
+// ---------------------------------------------------------------------------
+// Scan: deltas for the base table pass straight through.
+// ---------------------------------------------------------------------------
+class IncScan final : public IncrementalOperator {
+ public:
+  explicit IncScan(std::string table) : table_(std::move(table)) {}
+
+  DeltaMultiset Initialize(const Database& db) override {
+    DeltaMultiset out;
+    db.RequireTable(table_)->Scan(
+        [&](RowId, const Tuple& t) { out.Add(t, 1); });
+    return out;
+  }
+
+  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
+    return deltas.Get(table_);
+  }
+
+ private:
+  std::string table_;
+};
+
+// ---------------------------------------------------------------------------
+// Select: σ distributes over deltas — σ(w') = σ(w) − σ(Δ−) ∪ σ(Δ+).
+// ---------------------------------------------------------------------------
+class IncSelect final : public IncrementalOperator {
+ public:
+  IncSelect(IncrementalOperatorPtr child, ra::ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  DeltaMultiset Initialize(const Database& db) override {
+    return Filter(child_->Initialize(db));
+  }
+
+  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
+    return Filter(child_->ApplyDelta(deltas));
+  }
+
+ private:
+  DeltaMultiset Filter(const DeltaMultiset& in) const {
+    DeltaMultiset out;
+    in.ForEach([&](const Tuple& t, int64_t c) {
+      if (predicate_->EvalBool(t)) out.Add(t, c);
+    });
+    return out;
+  }
+
+  IncrementalOperatorPtr child_;
+  ra::ExprPtr predicate_;
+};
+
+// ---------------------------------------------------------------------------
+// Project: π over signed multisets implements the paper's Remark — counters
+// track how many input tuples map to each output tuple, so set-difference /
+// union under projection stay correct.
+// ---------------------------------------------------------------------------
+class IncProject final : public IncrementalOperator {
+ public:
+  IncProject(IncrementalOperatorPtr child, std::vector<ra::ExprPtr> outputs)
+      : child_(std::move(child)), outputs_(std::move(outputs)) {}
+
+  DeltaMultiset Initialize(const Database& db) override {
+    return Map(child_->Initialize(db));
+  }
+
+  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
+    return Map(child_->ApplyDelta(deltas));
+  }
+
+ private:
+  DeltaMultiset Map(const DeltaMultiset& in) const {
+    DeltaMultiset out;
+    in.ForEach([&](const Tuple& t, int64_t c) {
+      std::vector<Value> values;
+      values.reserve(outputs_.size());
+      for (const auto& e : outputs_) values.push_back(e->Eval(t));
+      out.Add(Tuple(std::move(values)), c);
+    });
+    return out;
+  }
+
+  IncrementalOperatorPtr child_;
+  std::vector<ra::ExprPtr> outputs_;
+};
+
+// ---------------------------------------------------------------------------
+// Join: ⋈ is bilinear, so (L+ΔL)⋈(R+ΔR) = L⋈R + ΔL⋈R + L⋈ΔR + ΔL⋈ΔR.
+// Both inputs are materialized with hash indexes on the join key so each
+// delta term costs O(|Δ| · matches) instead of a full re-join. Empty key
+// lists degrade to a Cartesian product (single bucket).
+// ---------------------------------------------------------------------------
+class IncJoin final : public IncrementalOperator {
+ public:
+  IncJoin(IncrementalOperatorPtr left, IncrementalOperatorPtr right,
+          std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+          ra::ExprPtr residual)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)) {}
+
+  DeltaMultiset Initialize(const Database& db) override {
+    left_state_.clear();
+    right_state_.clear();
+    const DeltaMultiset l = left_->Initialize(db);
+    const DeltaMultiset r = right_->Initialize(db);
+    Fold(r, right_keys_, right_state_);
+    DeltaMultiset out = JoinAgainst(l, /*probe_left=*/true);
+    Fold(l, left_keys_, left_state_);
+    return out;
+  }
+
+  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
+    const DeltaMultiset dl = left_->ApplyDelta(deltas);
+    const DeltaMultiset dr = right_->ApplyDelta(deltas);
+    DeltaMultiset out;
+    // ΔL ⋈ R_old.
+    if (!dl.empty()) out.Merge(JoinAgainst(dl, /*probe_left=*/true));
+    // L_old ⋈ ΔR.
+    if (!dr.empty()) out.Merge(JoinAgainst(dr, /*probe_left=*/false));
+    // ΔL ⋈ ΔR (both sides small).
+    if (!dl.empty() && !dr.empty()) {
+      dl.ForEach([&](const Tuple& lt, int64_t lc) {
+        const Tuple key = lt.Project(left_keys_);
+        dr.ForEach([&](const Tuple& rt, int64_t rc) {
+          if (rt.Project(right_keys_) == key) Emit(lt, rt, lc * rc, out);
+        });
+      });
+    }
+    Fold(dl, left_keys_, left_state_);
+    Fold(dr, right_keys_, right_state_);
+    return out;
+  }
+
+ private:
+  // key tuple -> (full tuple -> signed count)
+  using KeyedState = std::unordered_map<Tuple, DeltaMultiset, TupleHasher>;
+
+  void Fold(const DeltaMultiset& delta, const std::vector<size_t>& keys,
+            KeyedState& state) {
+    delta.ForEach([&](const Tuple& t, int64_t c) {
+      DeltaMultiset& bucket = state[t.Project(keys)];
+      bucket.Add(t, c);
+      // Leave empty buckets in place; they are rare and harmless.
+    });
+  }
+
+  void Emit(const Tuple& l, const Tuple& r, int64_t count,
+            DeltaMultiset& out) const {
+    Tuple joined = Tuple::Concat(l, r);
+    if (residual_ == nullptr || residual_->EvalBool(joined)) {
+      out.Add(joined, count);
+    }
+  }
+
+  /// Joins `probe` against the opposite side's materialized state.
+  DeltaMultiset JoinAgainst(const DeltaMultiset& probe, bool probe_left) const {
+    const KeyedState& state = probe_left ? right_state_ : left_state_;
+    const std::vector<size_t>& probe_keys =
+        probe_left ? left_keys_ : right_keys_;
+    DeltaMultiset out;
+    probe.ForEach([&](const Tuple& pt, int64_t pc) {
+      const auto it = state.find(pt.Project(probe_keys));
+      if (it == state.end()) return;
+      it->second.ForEach([&](const Tuple& st, int64_t sc) {
+        if (probe_left) {
+          Emit(pt, st, pc * sc, out);
+        } else {
+          Emit(st, pt, pc * sc, out);
+        }
+      });
+    });
+    return out;
+  }
+
+  IncrementalOperatorPtr left_;
+  IncrementalOperatorPtr right_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  ra::ExprPtr residual_;
+  KeyedState left_state_;
+  KeyedState right_state_;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregate: per-group running states folded with signed deltas. COUNT /
+// COUNT_IF / SUM / AVG reverse exactly under deletion; MIN/MAX keep an
+// ordered value multiset so deleted extrema can be recovered.
+// ---------------------------------------------------------------------------
+class IncAggregate final : public IncrementalOperator {
+ public:
+  IncAggregate(IncrementalOperatorPtr child, std::vector<size_t> group_by,
+               std::vector<AggregateSpec> aggregates)
+      : child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        aggregates_(std::move(aggregates)) {}
+
+  DeltaMultiset Initialize(const Database& db) override {
+    groups_.clear();
+    const DeltaMultiset in = child_->Initialize(db);
+    FGPDB_CHECK(in.IsNonNegative());
+    in.ForEach([&](const Tuple& t, int64_t c) { FoldTuple(t, c); });
+    DeltaMultiset out;
+    for (const auto& [key, state] : groups_) {
+      out.Add(OutputRow(key, state), 1);
+    }
+    if (group_by_.empty() && groups_.empty()) {
+      out.Add(OutputRow(Tuple(), GroupState(aggregates_.size())), 1);
+    }
+    return out;
+  }
+
+  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
+    const DeltaMultiset din = child_->ApplyDelta(deltas);
+    if (din.empty()) return {};
+    // Snapshot the old output row of every group the delta touches.
+    std::unordered_map<Tuple, Tuple, TupleHasher> old_rows;
+    std::unordered_map<Tuple, bool, TupleHasher> old_existed;
+    din.ForEach([&](const Tuple& t, int64_t) {
+      Tuple key = t.Project(group_by_);
+      if (old_rows.count(key) > 0) return;
+      const auto it = groups_.find(key);
+      const bool existed = it != groups_.end() || group_by_.empty();
+      old_existed[key] = existed;
+      if (it != groups_.end()) {
+        old_rows.emplace(key, OutputRow(key, it->second));
+      } else if (group_by_.empty()) {
+        old_rows.emplace(key, OutputRow(key, GroupState(aggregates_.size())));
+      }
+    });
+    din.ForEach([&](const Tuple& t, int64_t c) { FoldTuple(t, c); });
+    DeltaMultiset out;
+    for (const auto& [key, existed] : old_existed) {
+      if (existed) out.Add(old_rows.at(key), -1);
+      const auto it = groups_.find(key);
+      if (it != groups_.end()) {
+        out.Add(OutputRow(key, it->second), 1);
+      } else if (group_by_.empty()) {
+        out.Add(OutputRow(key, GroupState(aggregates_.size())), 1);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct AggIncState {
+    int64_t count = 0;  // Counted rows (COUNT/COUNT_IF) or non-null inputs.
+    double sum = 0.0;
+    bool sum_integral = true;
+    std::map<Value, int64_t> values;  // MIN/MAX support multiset.
+  };
+
+  struct GroupState {
+    explicit GroupState(size_t n) : support(0), aggs(n) {}
+    int64_t support;
+    std::vector<AggIncState> aggs;
+  };
+
+  void FoldTuple(const Tuple& t, int64_t c) {
+    Tuple key = t.Project(group_by_);
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      it = groups_.emplace(std::move(key), GroupState(aggregates_.size())).first;
+    }
+    GroupState& group = it->second;
+    group.support += c;
+    FGPDB_CHECK_GE(group.support, 0)
+        << "negative group support — deltas out of order?";
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      FoldAggregate(aggregates_[a], t, c, group.aggs[a]);
+    }
+    if (group.support == 0) groups_.erase(it);
+  }
+
+  static void FoldAggregate(const AggregateSpec& spec, const Tuple& t,
+                            int64_t c, AggIncState& state) {
+    switch (spec.kind) {
+      case AggregateSpec::Kind::kCount:
+        if (spec.argument == nullptr || !spec.argument->Eval(t).is_null()) {
+          state.count += c;
+        }
+        return;
+      case AggregateSpec::Kind::kCountIf:
+        if (spec.argument->EvalBool(t)) state.count += c;
+        return;
+      case AggregateSpec::Kind::kCountDistinct: {
+        // Support multiset: distinct count = number of values with
+        // positive support (exactly reversible under deletion).
+        const Value v = spec.argument->Eval(t);
+        if (v.is_null()) return;
+        auto [it, inserted] = state.values.emplace(v, c);
+        if (!inserted) {
+          it->second += c;
+          if (it->second == 0) state.values.erase(it);
+        }
+        return;
+      }
+      case AggregateSpec::Kind::kSum:
+      case AggregateSpec::Kind::kAvg: {
+        const Value v = spec.argument->Eval(t);
+        if (v.is_null()) return;
+        state.count += c;
+        state.sum += static_cast<double>(c) * v.AsNumeric();
+        if (v.type() != ValueType::kInt64) state.sum_integral = false;
+        return;
+      }
+      case AggregateSpec::Kind::kMin:
+      case AggregateSpec::Kind::kMax: {
+        const Value v = spec.argument->Eval(t);
+        if (v.is_null()) return;
+        auto [it, inserted] = state.values.emplace(v, c);
+        if (!inserted) {
+          it->second += c;
+          if (it->second == 0) state.values.erase(it);
+        }
+        return;
+      }
+    }
+  }
+
+  static Value FinalizeAggregate(const AggregateSpec& spec,
+                                 const AggIncState& state) {
+    switch (spec.kind) {
+      case AggregateSpec::Kind::kCount:
+      case AggregateSpec::Kind::kCountIf:
+        return Value::Int(state.count);
+      case AggregateSpec::Kind::kCountDistinct:
+        return Value::Int(static_cast<int64_t>(state.values.size()));
+      case AggregateSpec::Kind::kSum:
+        if (state.count == 0) return Value::Null();
+        return state.sum_integral
+                   ? Value::Int(static_cast<int64_t>(state.sum))
+                   : Value::Double(state.sum);
+      case AggregateSpec::Kind::kAvg:
+        if (state.count == 0) return Value::Null();
+        return Value::Double(state.sum / static_cast<double>(state.count));
+      case AggregateSpec::Kind::kMin:
+        return state.values.empty() ? Value::Null()
+                                    : state.values.begin()->first;
+      case AggregateSpec::Kind::kMax:
+        return state.values.empty() ? Value::Null()
+                                    : state.values.rbegin()->first;
+    }
+    return Value::Null();
+  }
+
+  Tuple OutputRow(const Tuple& key, const GroupState& state) const {
+    std::vector<Value> values;
+    values.reserve(group_by_.size() + aggregates_.size());
+    for (const Value& v : key.values()) values.push_back(v);
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      values.push_back(FinalizeAggregate(aggregates_[a], state.aggs[a]));
+    }
+    return Tuple(std::move(values));
+  }
+
+  IncrementalOperatorPtr child_;
+  std::vector<size_t> group_by_;
+  std::vector<AggregateSpec> aggregates_;
+  std::unordered_map<Tuple, GroupState, TupleHasher> groups_;
+};
+
+// ---------------------------------------------------------------------------
+// Distinct: support counts; an output row appears on a 0→positive transition
+// and disappears on positive→0.
+// ---------------------------------------------------------------------------
+class IncDistinct final : public IncrementalOperator {
+ public:
+  explicit IncDistinct(IncrementalOperatorPtr child)
+      : child_(std::move(child)) {}
+
+  DeltaMultiset Initialize(const Database& db) override {
+    support_.Clear();
+    const DeltaMultiset in = child_->Initialize(db);
+    DeltaMultiset out;
+    in.ForEach([&](const Tuple& t, int64_t c) {
+      if (support_.Count(t) == 0 && c > 0) out.Add(t, 1);
+      support_.Add(t, c);
+    });
+    return out;
+  }
+
+  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
+    const DeltaMultiset din = child_->ApplyDelta(deltas);
+    DeltaMultiset out;
+    din.ForEach([&](const Tuple& t, int64_t c) {
+      const int64_t before = support_.Count(t);
+      const int64_t after = before + c;
+      FGPDB_CHECK_GE(after, 0) << "negative distinct support";
+      if (before == 0 && after > 0) out.Add(t, 1);
+      if (before > 0 && after == 0) out.Add(t, -1);
+      support_.Add(t, c);
+    });
+    return out;
+  }
+
+ private:
+  IncrementalOperatorPtr child_;
+  DeltaMultiset support_;
+};
+
+}  // namespace
+
+IncrementalOperatorPtr Compile(const ra::PlanNode& plan) {
+  switch (plan.kind()) {
+    case ra::PlanKind::kScan:
+      return std::make_unique<IncScan>(
+          static_cast<const ra::ScanNode&>(plan).table_name());
+    case ra::PlanKind::kSelect: {
+      const auto& node = static_cast<const ra::SelectNode&>(plan);
+      return std::make_unique<IncSelect>(Compile(plan.child(0)),
+                                         node.predicate().Clone());
+    }
+    case ra::PlanKind::kProject: {
+      const auto& node = static_cast<const ra::ProjectNode&>(plan);
+      std::vector<ra::ExprPtr> outputs;
+      for (const auto& e : node.outputs()) outputs.push_back(e->Clone());
+      return std::make_unique<IncProject>(Compile(plan.child(0)),
+                                          std::move(outputs));
+    }
+    case ra::PlanKind::kJoin: {
+      const auto& node = static_cast<const ra::JoinNode&>(plan);
+      return std::make_unique<IncJoin>(
+          Compile(plan.child(0)), Compile(plan.child(1)), node.left_keys(),
+          node.right_keys(),
+          node.residual() != nullptr ? node.residual()->Clone() : nullptr);
+    }
+    case ra::PlanKind::kAggregate: {
+      const auto& node = static_cast<const ra::AggregateNode&>(plan);
+      std::vector<AggregateSpec> specs;
+      for (const auto& spec : node.aggregates()) specs.push_back(spec.Clone());
+      return std::make_unique<IncAggregate>(Compile(plan.child(0)),
+                                            node.group_by(), std::move(specs));
+    }
+    case ra::PlanKind::kDistinct:
+      return std::make_unique<IncDistinct>(Compile(plan.child(0)));
+    case ra::PlanKind::kOrderBy:
+      // View contents are multisets; ordering is presentation-only.
+      return Compile(plan.child(0));
+    case ra::PlanKind::kLimit:
+      FGPDB_FATAL() << "LIMIT is not incrementally maintainable";
+  }
+  FGPDB_FATAL() << "unknown plan kind";
+  return nullptr;
+}
+
+MaterializedView::MaterializedView(const ra::PlanNode& plan)
+    : root_(Compile(plan)) {}
+
+void MaterializedView::Initialize(const Database& db) {
+  contents_ = root_->Initialize(db);
+  FGPDB_CHECK(contents_.IsNonNegative());
+  initialized_ = true;
+}
+
+DeltaMultiset MaterializedView::Apply(const DeltaSet& deltas) {
+  FGPDB_CHECK(initialized_) << "MaterializedView::Initialize not called";
+  DeltaMultiset out = root_->ApplyDelta(deltas);
+  contents_.Merge(out);
+  FGPDB_CHECK(contents_.IsNonNegative())
+      << "view contents went negative — Eq. 6 bookkeeping violated";
+  return out;
+}
+
+}  // namespace view
+}  // namespace fgpdb

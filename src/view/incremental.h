@@ -1,0 +1,81 @@
+// Incremental (delta-maintained) query operators — the paper's §4.2.
+//
+// An IncrementalOperator tree is compiled from the same ra:: plan the full
+// executor runs. Initialize() performs the one exhaustive evaluation of the
+// initial world (the base case of Eq. 6); ApplyDelta() then consumes base-
+// table deltas produced by MCMC and emits the view's output delta:
+//
+//   Q(w') = Q(w) − Q'(w, Δ−) ∪ Q'(w, Δ+)            (paper Eq. 6)
+//
+// realized operator-by-operator:
+//   σ:  Δout = σ(Δin)                                (linear)
+//   π:  Δout = π(Δin)  with signed multiset counts   (paper's Remark)
+//   ⋈:  Δout = ΔL⋈R + L⋈ΔR + ΔL⋈ΔR                   (bilinear; the operator
+//        materializes L and R with key indexes so each term costs O(|Δ|))
+//   γ:  per-group running states updated by Δin; emits −old_row/+new_row
+//   δ:  distinct via support counts (emit on 0→positive transitions)
+//
+// Operators never re-read the Database after Initialize(); all state needed
+// for maintenance is carried internally, so the stored world may drift ahead
+// as long as deltas arrive in order.
+#ifndef FGPDB_VIEW_INCREMENTAL_H_
+#define FGPDB_VIEW_INCREMENTAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ra/plan.h"
+#include "storage/database.h"
+#include "view/delta.h"
+
+namespace fgpdb {
+namespace view {
+
+class IncrementalOperator {
+ public:
+  virtual ~IncrementalOperator() = default;
+
+  /// Full evaluation against the current world; (re)sets internal state.
+  /// The result is a bag: every count >= 1.
+  virtual DeltaMultiset Initialize(const Database& db) = 0;
+
+  /// Consumes base-table deltas and returns this operator's output delta.
+  virtual DeltaMultiset ApplyDelta(const DeltaSet& deltas) = 0;
+};
+
+using IncrementalOperatorPtr = std::unique_ptr<IncrementalOperator>;
+
+/// Compiles a plan into an incremental operator tree. OrderBy nodes are
+/// skipped (view contents are multisets); Limit/Distinct-with-Limit are
+/// rejected as non-incremental. Fatal on unsupported shapes.
+IncrementalOperatorPtr Compile(const ra::PlanNode& plan);
+
+/// A maintained view: operator tree + its current materialized contents.
+class MaterializedView {
+ public:
+  /// Compiles `plan`; call Initialize before reading contents.
+  explicit MaterializedView(const ra::PlanNode& plan);
+
+  /// Runs the one full evaluation of the initial world.
+  void Initialize(const Database& db);
+
+  /// Folds a round of base-table deltas into the view; returns the output
+  /// delta (what changed in the answer).
+  DeltaMultiset Apply(const DeltaSet& deltas);
+
+  /// Current contents (bag: counts >= 1).
+  const DeltaMultiset& contents() const { return contents_; }
+
+  bool initialized() const { return initialized_; }
+
+ private:
+  IncrementalOperatorPtr root_;
+  DeltaMultiset contents_;
+  bool initialized_ = false;
+};
+
+}  // namespace view
+}  // namespace fgpdb
+
+#endif  // FGPDB_VIEW_INCREMENTAL_H_

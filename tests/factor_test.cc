@@ -1,0 +1,173 @@
+// Factor graph library tests: domains, factors, graphs, and the key local-
+// scoring property (Appendix 9.2): LogScoreDelta equals the full-score
+// difference for arbitrary changes.
+#include <gtest/gtest.h>
+
+#include "factor/factor_graph.h"
+#include "util/rng.h"
+
+namespace fgpdb {
+namespace factor {
+namespace {
+
+TEST(DomainTest, ConstructionAndLookup) {
+  const Domain d = Domain::OfStrings({"a", "b", "c"});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.value(1), Value::String("b"));
+  EXPECT_EQ(*d.IndexOf(Value::String("c")), 2u);
+  EXPECT_FALSE(d.IndexOf(Value::String("z")).has_value());
+  EXPECT_DEATH(d.RequireIndexOf(Value::String("z")), "not in domain");
+  const Domain r = Domain::OfRange(4);
+  EXPECT_EQ(r.RequireIndexOf(Value::Int(3)), 3u);
+}
+
+TEST(DomainTest, DuplicateValueIsFatal) {
+  EXPECT_DEATH(Domain::OfStrings({"a", "a"}), "duplicate domain value");
+}
+
+TEST(TableFactorTest, MixedRadixIndexing) {
+  TableFactor f({0, 1}, {2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(f.LogScore({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(f.LogScore({0, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(f.LogScore({1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(f.LogScore({1, 2}), 5.0);
+  f.SetLogScore({1, 2}, -7.0);
+  EXPECT_DOUBLE_EQ(f.LogScore({1, 2}), -7.0);
+}
+
+TEST(TableFactorTest, SizeMismatchIsFatal) {
+  EXPECT_DEATH(TableFactor({0}, {2}, {1.0, 2.0, 3.0}), "");
+}
+
+TEST(LambdaFactorTest, ClosureScoring) {
+  LambdaFactor f({0, 1}, [](const std::vector<uint32_t>& v) {
+    return v[0] == v[1] ? 1.5 : -0.5;
+  });
+  EXPECT_DOUBLE_EQ(f.LogScore({2, 2}), 1.5);
+  EXPECT_DOUBLE_EQ(f.LogScore({0, 1}), -0.5);
+}
+
+FactorGraph MakeChainGraph(size_t n, size_t labels, uint64_t seed) {
+  FactorGraph graph;
+  auto domain = std::make_shared<Domain>(
+      Domain::OfRange(static_cast<int64_t>(labels)));
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) graph.AddVariable(domain);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> scores(labels);
+    for (auto& s : scores) s = rng.Gaussian();
+    graph.AddFactor(std::make_unique<TableFactor>(
+        std::vector<VarId>{static_cast<VarId>(i)}, std::vector<size_t>{labels},
+        std::move(scores)));
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    std::vector<double> scores(labels * labels);
+    for (auto& s : scores) s = rng.Gaussian();
+    graph.AddFactor(std::make_unique<TableFactor>(
+        std::vector<VarId>{static_cast<VarId>(i), static_cast<VarId>(i + 1)},
+        std::vector<size_t>{labels, labels}, std::move(scores)));
+  }
+  return graph;
+}
+
+TEST(FactorGraphTest, AdjacencyTracksFactors) {
+  FactorGraph graph = MakeChainGraph(4, 3, 1);
+  // Middle variables touch one unary + two binary factors.
+  EXPECT_EQ(graph.FactorsOf(1).size(), 3u);
+  EXPECT_EQ(graph.FactorsOf(0).size(), 2u);
+  EXPECT_EQ(graph.num_factors(), 4u + 3u);
+  EXPECT_EQ(graph.num_variables(), 4u);
+}
+
+// Property: LogScoreDelta must equal the full-score difference for random
+// single- and multi-variable changes (this is the identity that lets MH
+// evaluate only touched factors — Appendix 9.2).
+class ScoreDeltaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScoreDeltaProperty, LocalDeltaEqualsFullDifference) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  FactorGraph graph = MakeChainGraph(6, 4, seed);
+  Rng rng(seed * 31 + 7);
+  World world = graph.MakeWorld();
+  for (size_t v = 0; v < world.size(); ++v) {
+    world.Set(static_cast<VarId>(v), static_cast<uint32_t>(rng.UniformInt(4u)));
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    Change change;
+    const size_t num_changed = 1 + rng.UniformInt(3u);
+    for (size_t c = 0; c < num_changed; ++c) {
+      change.Set(static_cast<VarId>(rng.UniformInt(6u)),
+                 static_cast<uint32_t>(rng.UniformInt(4u)));
+    }
+    const double local = graph.LogScoreDelta(world, change);
+    World after = world;
+    after.Apply(change);
+    const double full = graph.LogScore(after) - graph.LogScore(world);
+    ASSERT_NEAR(local, full, 1e-9) << "trial " << trial;
+    world = after;  // Walk on.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreDeltaProperty, ::testing::Range(1, 9));
+
+TEST(WorldTest, ApplyRecordsOldValues) {
+  World world(3);
+  world.Set(1, 5);
+  Change change;
+  change.Set(1, 7);
+  change.Set(2, 9);
+  std::vector<AppliedAssignment> applied;
+  world.Apply(change, &applied);
+  ASSERT_EQ(applied.size(), 2u);
+  EXPECT_EQ(applied[0].old_value, 5u);
+  EXPECT_EQ(applied[0].new_value, 7u);
+  EXPECT_EQ(world.Get(1), 7u);
+  EXPECT_EQ(world.Get(2), 9u);
+}
+
+TEST(WorldTest, PatchedWorldOverlaysWithoutMutation) {
+  World world(2);
+  world.Set(0, 1);
+  Change change;
+  change.Set(0, 3);
+  PatchedWorld patched(world, change);
+  EXPECT_EQ(patched.Get(0), 3u);
+  EXPECT_EQ(patched.Get(1), 0u);
+  EXPECT_EQ(world.Get(0), 1u);  // Base untouched.
+}
+
+TEST(SparseVectorTest, ConsolidateMergesAndDropsZeros) {
+  SparseVector v;
+  v.Add(5, 1.0);
+  v.Add(3, 2.0);
+  v.Add(5, -1.0);
+  v.Add(3, 0.5);
+  v.Consolidate();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.entries()[0].first, 3u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].second, 2.5);
+}
+
+TEST(ParametersTest, DotAndUpdate) {
+  Parameters params;
+  EXPECT_DOUBLE_EQ(params.Get(42), 0.0);  // Unknown features read as 0.
+  SparseVector v;
+  v.Add(1, 2.0);
+  v.Add(2, -1.0);
+  params.Set(1, 3.0);
+  params.Set(2, 4.0);
+  EXPECT_DOUBLE_EQ(params.Dot(v), 2.0 * 3.0 - 4.0);
+  params.UpdateSparse(v, 0.5);
+  EXPECT_DOUBLE_EQ(params.Get(1), 4.0);
+  EXPECT_DOUBLE_EQ(params.Get(2), 3.5);
+}
+
+TEST(FeatureIdTest, DistinctSpacesAndRoles) {
+  EXPECT_NE(MakeFeatureId("emission", 1, 2), MakeFeatureId("transition", 1, 2));
+  EXPECT_NE(MakeFeatureId("emission", 1, 2), MakeFeatureId("emission", 2, 1));
+  EXPECT_EQ(MakeFeatureId("bias", 7), MakeFeatureId("bias", 7));
+}
+
+}  // namespace
+}  // namespace factor
+}  // namespace fgpdb

@@ -1,0 +1,123 @@
+// Parallel multi-chain evaluation tests (paper §5.4).
+#include <gtest/gtest.h>
+
+#include "ie/corpus.h"
+#include "ie/ner_proposal.h"
+#include "ie/queries.h"
+#include "ie/skip_chain_model.h"
+#include "ie/token_pdb.h"
+#include "pdb/parallel_evaluator.h"
+#include "sql/binder.h"
+
+namespace fgpdb {
+namespace pdb {
+namespace {
+
+struct ParallelFixture {
+  ie::TokenPdb tokens;
+  std::unique_ptr<ie::SkipChainNerModel> model;
+
+  ParallelFixture() {
+    const ie::SyntheticCorpus corpus = ie::GenerateCorpus(
+        {.num_tokens = 500, .tokens_per_doc = 60, .seed = 31});
+    tokens = ie::BuildTokenPdb(corpus);
+    model = std::make_unique<ie::SkipChainNerModel>(tokens);
+    model->InitializeFromCorpusStatistics(tokens);
+    tokens.pdb->set_model(model.get());
+  }
+
+  ProposalFactory MakeFactory() {
+    return [this](ProbabilisticDatabase&) {
+      return std::make_unique<ie::DocumentBatchProposal>(
+          &tokens.docs, ie::NerProposalOptions{.proposals_per_batch = 300});
+    };
+  }
+};
+
+TEST(ParallelEvaluatorTest, MergedSampleCountIsSumOfChains) {
+  ParallelFixture fixture;
+  ra::PlanPtr plan = sql::PlanQuery(ie::kQuery1, fixture.tokens.pdb->db());
+  ParallelOptions options;
+  options.num_chains = 3;
+  options.samples_per_chain = 10;
+  options.chain_options = {.steps_per_sample = 200, .burn_in = 500, .seed = 1};
+  const QueryAnswer answer = EvaluateParallel(*fixture.tokens.pdb, *plan,
+                                              fixture.MakeFactory(), options);
+  EXPECT_EQ(answer.num_samples(), 30u);
+}
+
+TEST(ParallelEvaluatorTest, ThreadedAndSequentialAgree) {
+  // Chains are seeded deterministically per-index, so running them on
+  // threads or sequentially must give identical merged answers.
+  ParallelFixture fixture;
+  ra::PlanPtr plan = sql::PlanQuery(ie::kQuery1, fixture.tokens.pdb->db());
+  ParallelOptions options;
+  options.num_chains = 4;
+  options.samples_per_chain = 8;
+  options.chain_options = {.steps_per_sample = 150, .burn_in = 300, .seed = 2};
+  options.use_threads = true;
+  const QueryAnswer threaded = EvaluateParallel(*fixture.tokens.pdb, *plan,
+                                                fixture.MakeFactory(), options);
+  options.use_threads = false;
+  const QueryAnswer sequential = EvaluateParallel(
+      *fixture.tokens.pdb, *plan, fixture.MakeFactory(), options);
+  EXPECT_EQ(threaded.SquaredError(sequential), 0.0);
+}
+
+TEST(ParallelEvaluatorTest, MoreChainsReduceError) {
+  // The Fig. 5 effect: with a fixed per-chain budget, more chains give
+  // lower squared error against a long-run reference.
+  ParallelFixture fixture;
+  ra::PlanPtr plan = sql::PlanQuery(ie::kQuery1, fixture.tokens.pdb->db());
+
+  // Reference: one long materialized run.
+  ParallelOptions ref_options;
+  ref_options.num_chains = 4;
+  ref_options.samples_per_chain = 400;
+  ref_options.chain_options = {.steps_per_sample = 200, .burn_in = 2000,
+                               .seed = 777};
+  ref_options.use_threads = false;
+  const QueryAnswer reference = EvaluateParallel(
+      *fixture.tokens.pdb, *plan, fixture.MakeFactory(), ref_options);
+
+  auto error_with_chains = [&](size_t chains, uint64_t seed) {
+    ParallelOptions options;
+    options.num_chains = chains;
+    options.samples_per_chain = 12;
+    options.chain_options = {.steps_per_sample = 200, .burn_in = 200,
+                             .seed = seed};
+    options.use_threads = false;
+    const QueryAnswer answer = EvaluateParallel(
+        *fixture.tokens.pdb, *plan, fixture.MakeFactory(), options);
+    return answer.SquaredError(reference);
+  };
+
+  // Average over a few seeds to damp noise.
+  double err1 = 0.0, err8 = 0.0;
+  for (uint64_t s = 0; s < 3; ++s) {
+    err1 += error_with_chains(1, 100 + s);
+    err8 += error_with_chains(8, 200 + s);
+  }
+  EXPECT_LT(err8, err1);
+}
+
+TEST(ParallelEvaluatorTest, NaivePathProducesSameAnswersAsMaterialized) {
+  ParallelFixture fixture;
+  ra::PlanPtr plan = sql::PlanQuery(ie::kQuery2, fixture.tokens.pdb->db());
+  ParallelOptions options;
+  options.num_chains = 2;
+  options.samples_per_chain = 6;
+  options.chain_options = {.steps_per_sample = 100, .burn_in = 100, .seed = 3};
+  options.use_threads = false;
+  options.materialized = true;
+  const QueryAnswer mat = EvaluateParallel(*fixture.tokens.pdb, *plan,
+                                           fixture.MakeFactory(), options);
+  options.materialized = false;
+  const QueryAnswer naive = EvaluateParallel(*fixture.tokens.pdb, *plan,
+                                             fixture.MakeFactory(), options);
+  EXPECT_EQ(mat.SquaredError(naive), 0.0);
+}
+
+}  // namespace
+}  // namespace pdb
+}  // namespace fgpdb

@@ -1,0 +1,136 @@
+// Randomized property tests for the storage primitives: hash/equality
+// consistency of values and tuples, comparison total-order axioms, and
+// table index invariants under random DML — the substrate everything above
+// (delta multisets, view states, marginal maps) keys on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/database.h"
+#include "util/rng.h"
+
+namespace fgpdb {
+namespace {
+
+Value RandomValue(Rng& rng) {
+  switch (rng.UniformInt(4u)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Int(rng.UniformInt(-5, 5));
+    case 2:
+      // Half-integral doubles exercise the cross-type equality path.
+      return Value::Double(static_cast<double>(rng.UniformInt(-10, 10)) / 2.0);
+    default: {
+      static const std::vector<std::string> kStrings = {"", "a", "b", "ab",
+                                                        "B-PER", "x"};
+      return Value::String(kStrings[rng.UniformInt(kStrings.size())]);
+    }
+  }
+}
+
+class ValuePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValuePropertyTest, HashRespectsEquality) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 300; ++i) {
+    const Value a = RandomValue(rng);
+    const Value b = RandomValue(rng);
+    if (a == b) {
+      ASSERT_EQ(a.Hash(), b.Hash())
+          << a.ToString() << " == " << b.ToString() << " but hashes differ";
+    }
+  }
+}
+
+TEST_P(ValuePropertyTest, CompareIsATotalOrder) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  for (int i = 0; i < 200; ++i) {
+    const Value a = RandomValue(rng);
+    const Value b = RandomValue(rng);
+    const Value c = RandomValue(rng);
+    // Antisymmetry.
+    ASSERT_EQ(a.Compare(b), -b.Compare(a));
+    // Reflexivity.
+    ASSERT_EQ(a.Compare(a), 0);
+    // Transitivity of <=.
+    if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+      ASSERT_LE(a.Compare(c), 0)
+          << a.ToString() << " <= " << b.ToString() << " <= " << c.ToString();
+    }
+  }
+}
+
+TEST_P(ValuePropertyTest, TupleHashAndOrderConsistent) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Value> va, vb;
+    const size_t arity = rng.UniformInt(4u);
+    for (size_t k = 0; k < arity; ++k) {
+      va.push_back(RandomValue(rng));
+      vb.push_back(rng.Bernoulli(0.5) ? va.back() : RandomValue(rng));
+    }
+    const Tuple a(va);
+    const Tuple b(vb);
+    if (a == b) {
+      ASSERT_EQ(a.Hash(), b.Hash());
+      ASSERT_FALSE(a < b);
+      ASSERT_FALSE(b < a);
+    } else {
+      ASSERT_TRUE((a < b) != (b < a)) << "exactly one must order first";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValuePropertyTest, ::testing::Range(1, 6));
+
+TEST(TableInvariantTest, IndexesStayConsistentUnderRandomDml) {
+  Database db;
+  Schema schema(
+      {
+          Attribute{"ID", ValueType::kInt64},
+          Attribute{"K", ValueType::kInt64},
+      },
+      0);
+  Table* table = db.CreateTable("T", std::move(schema));
+  table->CreateIndex(1);
+  Rng rng(99);
+  std::vector<RowId> live;
+  int64_t next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const double r = rng.Uniform();
+    if (r < 0.45 || live.empty()) {
+      live.push_back(table->Insert(
+          Tuple{Value::Int(next_id++),
+                Value::Int(static_cast<int64_t>(rng.UniformInt(6u)))}));
+    } else if (r < 0.8) {
+      const RowId row = live[rng.UniformInt(live.size())];
+      table->UpdateField(row, 1,
+                         Value::Int(static_cast<int64_t>(rng.UniformInt(6u))));
+    } else {
+      const size_t pick = rng.UniformInt(live.size());
+      table->Delete(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  // Invariant: for every key value, the index postings equal the scan.
+  for (int64_t key = 0; key < 6; ++key) {
+    std::vector<RowId> from_scan;
+    table->Scan([&](RowId row, const Tuple& t) {
+      if (t.at(1) == Value::Int(key)) from_scan.push_back(row);
+    });
+    auto from_index = table->IndexLookup(1, Value::Int(key));
+    std::sort(from_scan.begin(), from_scan.end());
+    std::sort(from_index.begin(), from_index.end());
+    ASSERT_EQ(from_scan, from_index) << "index drift for key " << key;
+  }
+  // Primary-key index covers exactly the live rows.
+  table->Scan([&](RowId row, const Tuple& t) {
+    ASSERT_EQ(table->LookupByKey(t.at(0)), row);
+  });
+  EXPECT_EQ(table->size(), live.size());
+}
+
+}  // namespace
+}  // namespace fgpdb

@@ -1,0 +1,187 @@
+// Unit tests for the storage engine: values, tuples, schemas, tables,
+// indexes, and the database catalog.
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "test_helpers.h"
+
+namespace fgpdb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Int(3).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Double(3.0).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), ValueType::kString);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_LT(Value::Int(2), Value::Double(2.5));
+  EXPECT_GT(Value::Double(3.1), Value::Int(3));
+}
+
+TEST(ValueTest, CrossTypeEqualValuesHashEqual) {
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+  EXPECT_NE(Value::Int(2).Hash(), Value::Int(3).Hash());
+}
+
+TEST(ValueTest, StringOrderingAndEquality) {
+  EXPECT_LT(Value::String("apple"), Value::String("banana"));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+  EXPECT_NE(Value::String("x"), Value::String("y"));
+}
+
+TEST(ValueTest, NullSortsFirstAndEqualsItself) {
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::String("abc").ToString(), "'abc'");
+}
+
+TEST(ValueTest, AsNumericFatalOnString) {
+  EXPECT_DEATH(Value::String("x").AsNumeric(), "non-numeric");
+}
+
+TEST(TupleTest, ConcatProjectEquality) {
+  Tuple a{Value::Int(1), Value::String("x")};
+  Tuple b{Value::Double(2.0)};
+  Tuple c = Tuple::Concat(a, b);
+  EXPECT_EQ(c.arity(), 3u);
+  EXPECT_EQ(c.at(2), Value::Double(2.0));
+  Tuple p = c.Project({2, 0});
+  EXPECT_EQ(p, (Tuple{Value::Double(2.0), Value::Int(1)}));
+  EXPECT_EQ(c.ToString(), "(1, 'x', 2)");
+}
+
+TEST(TupleTest, OrderingIsLexicographic) {
+  EXPECT_LT((Tuple{Value::Int(1), Value::Int(2)}),
+            (Tuple{Value::Int(1), Value::Int(3)}));
+  EXPECT_LT((Tuple{Value::Int(1)}), (Tuple{Value::Int(1), Value::Int(0)}));
+}
+
+TEST(TupleTest, HashConsistentWithEquality) {
+  Tuple a{Value::Int(7), Value::String("q")};
+  Tuple b{Value::Int(7), Value::String("q")};
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(SchemaTest, NameResolution) {
+  Schema s({Attribute{"A", ValueType::kInt64}, Attribute{"B", ValueType::kString}},
+           0);
+  EXPECT_EQ(s.arity(), 2u);
+  EXPECT_EQ(s.RequireIndexOf("B"), 1u);
+  EXPECT_FALSE(s.IndexOf("C").has_value());
+  EXPECT_EQ(*s.primary_key(), 0u);
+  EXPECT_DEATH(s.RequireIndexOf("C"), "unknown attribute");
+}
+
+TEST(SchemaTest, DuplicateAttributeIsFatal) {
+  EXPECT_DEATH(Schema({Attribute{"A", ValueType::kInt64},
+                       Attribute{"A", ValueType::kInt64}}),
+               "duplicate attribute");
+}
+
+TEST(TableTest, InsertGetUpdateDelete) {
+  Database db;
+  Table* t = testing::MakeEmpTable(&db);
+  EXPECT_EQ(t->size(), 5u);
+  EXPECT_EQ(t->Get(0).at(2), Value::String("ann"));
+
+  const Value old = t->UpdateField(0, 3, Value::Int(120));
+  EXPECT_EQ(old, Value::Int(100));
+  EXPECT_EQ(t->Get(0).at(3), Value::Int(120));
+
+  t->Delete(1);
+  EXPECT_EQ(t->size(), 4u);
+  EXPECT_FALSE(t->IsLive(1));
+  EXPECT_DEATH(t->Get(1), "dead row");
+  EXPECT_DEATH(t->Delete(1), "dead row");
+}
+
+TEST(TableTest, PrimaryKeyLookupAndUniqueness) {
+  Database db;
+  Table* t = testing::MakeEmpTable(&db);
+  EXPECT_EQ(t->LookupByKey(Value::Int(3)), 2u);
+  EXPECT_EQ(t->LookupByKey(Value::Int(99)), kInvalidRowId);
+  EXPECT_DEATH(t->Insert(Tuple{Value::Int(1), Value::String("x"),
+                               Value::String("y"), Value::Int(0)}),
+               "duplicate primary key");
+}
+
+TEST(TableTest, SecondaryIndexTracksUpdates) {
+  Database db;
+  Table* t = testing::MakeEmpTable(&db);
+  t->CreateIndex(1);  // DEPT
+  EXPECT_EQ(t->IndexLookup(1, Value::String("eng")).size(), 2u);
+  EXPECT_EQ(t->IndexLookup(1, Value::String("qa")).size(), 0u);
+  t->UpdateField(0, 1, Value::String("qa"));
+  EXPECT_EQ(t->IndexLookup(1, Value::String("eng")).size(), 1u);
+  ASSERT_EQ(t->IndexLookup(1, Value::String("qa")).size(), 1u);
+  EXPECT_EQ(t->IndexLookup(1, Value::String("qa"))[0], 0u);
+  t->Delete(0);
+  EXPECT_EQ(t->IndexLookup(1, Value::String("qa")).size(), 0u);
+}
+
+TEST(TableTest, ScanSkipsDeletedRows) {
+  Database db;
+  Table* t = testing::MakeEmpTable(&db);
+  t->Delete(2);
+  size_t visited = 0;
+  t->Scan([&](RowId row, const Tuple&) {
+    EXPECT_NE(row, 2u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 4u);
+}
+
+TEST(TableTest, CloneIsDeepAndIndependent) {
+  Database db;
+  Table* t = testing::MakeEmpTable(&db);
+  t->CreateIndex(1);
+  auto copy = t->Clone();
+  t->UpdateField(0, 3, Value::Int(1));
+  EXPECT_EQ(copy->Get(0).at(3), Value::Int(100));
+  EXPECT_EQ(copy->IndexLookup(1, Value::String("eng")).size(), 2u);
+  EXPECT_EQ(copy->LookupByKey(Value::Int(5)), 4u);
+}
+
+TEST(TableTest, UpdateOfPrimaryKeyReindexes) {
+  Database db;
+  Table* t = testing::MakeEmpTable(&db);
+  t->UpdateField(0, 0, Value::Int(100));
+  EXPECT_EQ(t->LookupByKey(Value::Int(100)), 0u);
+  EXPECT_EQ(t->LookupByKey(Value::Int(1)), kInvalidRowId);
+}
+
+TEST(DatabaseTest, CatalogOperations) {
+  Database db;
+  testing::MakeEmpTable(&db);
+  EXPECT_NE(db.GetTable("EMP"), nullptr);
+  EXPECT_EQ(db.GetTable("NOPE"), nullptr);
+  EXPECT_DEATH(db.RequireTable("NOPE"), "no such table");
+  EXPECT_DEATH(db.CreateTable("EMP", Schema(std::vector<Attribute>{})),
+               "table exists");
+  EXPECT_EQ(db.TableNames().size(), 1u);
+  db.DropTable("EMP");
+  EXPECT_EQ(db.GetTable("EMP"), nullptr);
+}
+
+TEST(DatabaseTest, CloneIsDeep) {
+  Database db;
+  Table* t = testing::MakeEmpTable(&db);
+  auto copy = db.Clone();
+  t->UpdateField(0, 2, Value::String("zed"));
+  EXPECT_EQ(copy->RequireTable("EMP")->Get(0).at(2), Value::String("ann"));
+}
+
+}  // namespace
+}  // namespace fgpdb

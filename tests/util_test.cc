@@ -1,0 +1,181 @@
+// Unit tests for utilities: RNG, math, strings, hashing, thread pool,
+// table printer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace fgpdb {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(9);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 14000; ++i) ++counts[rng.UniformInt(7u)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+  EXPECT_EQ(rng.UniformInt(1u), 0u);
+  // Inclusive range overload.
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+TEST(RngTest, LogCategoricalMatchesCategorical) {
+  Rng rng(13);
+  std::vector<double> log_weights = {std::log(1.0), std::log(4.0)};
+  int count1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.LogCategorical(log_weights) == 1) ++count1;
+  }
+  EXPECT_NEAR(count1 / 20000.0, 0.8, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.Fork();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  auto w = v;
+  rng.Shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(MathTest, LogSumExp) {
+  EXPECT_NEAR(LogSumExp({std::log(1.0), std::log(3.0)}), std::log(4.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathTest, LogAdd) {
+  EXPECT_NEAR(LogAdd(std::log(2.0), std::log(6.0)), std::log(8.0), 1e-12);
+  EXPECT_EQ(LogAdd(-std::numeric_limits<double>::infinity(), 1.5), 1.5);
+}
+
+TEST(MathTest, MeanVarianceSquaredError) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_NEAR(Variance({1.0, 3.0}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(SquaredError({1.0, 0.0}, {0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(SquaredError({1.0}, {1.0, 2.0}), 4.0);  // Missing = 0.
+}
+
+TEST(StringTest, SplitJoinTrim) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_TRUE(StartsWith("B-PER", "B-"));
+  EXPECT_FALSE(StartsWith("O", "B-"));
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+  EXPECT_EQ(ToUpper("MiXeD"), "MIXED");
+}
+
+TEST(StringTest, Formatting) {
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(HumanCount(1200000), "1.2M");
+  EXPECT_EQ(HumanCount(10000), "10k");
+  EXPECT_EQ(HumanCount(42), "42");
+}
+
+TEST(HashTest, MixAndCombine) {
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));  // Order-dependent.
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(TablePrinterTest, AlignedOutputAndCsv) {
+  TablePrinter printer({"name", "value"});
+  printer.AddRow({"alpha", "1"});
+  printer.AddRow({"b", "22"});
+  std::ostringstream table;
+  printer.Print(table);
+  EXPECT_NE(table.str().find("| alpha | 1     |"), std::string::npos);
+  std::ostringstream csv;
+  printer.PrintCsv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1\nb,22\n");
+}
+
+TEST(TablePrinterTest, ArityMismatchIsFatal) {
+  TablePrinter printer({"a", "b"});
+  EXPECT_DEATH(printer.AddRow({"only-one"}), "");
+}
+
+}  // namespace
+}  // namespace fgpdb

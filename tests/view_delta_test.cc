@@ -1,0 +1,111 @@
+// Unit tests for the signed delta multisets (paper §4.2's Δ−/Δ+ structure).
+#include <gtest/gtest.h>
+
+#include "view/delta.h"
+
+namespace fgpdb {
+namespace view {
+namespace {
+
+Tuple T(int64_t x) { return Tuple{Value::Int(x)}; }
+
+TEST(DeltaMultisetTest, AddAndCount) {
+  DeltaMultiset d;
+  EXPECT_TRUE(d.empty());
+  d.Add(T(1), 2);
+  d.Add(T(2), -1);
+  EXPECT_EQ(d.Count(T(1)), 2);
+  EXPECT_EQ(d.Count(T(2)), -1);
+  EXPECT_EQ(d.Count(T(3)), 0);
+  EXPECT_EQ(d.distinct_size(), 2u);
+}
+
+TEST(DeltaMultisetTest, ZeroCountsAreErased) {
+  DeltaMultiset d;
+  d.Add(T(1), 3);
+  d.Add(T(1), -3);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.distinct_size(), 0u);
+  d.Add(T(1), 0);  // Adding zero is a no-op.
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(DeltaMultisetTest, MergeIsEntrywiseAddition) {
+  DeltaMultiset a, b;
+  a.Add(T(1), 2);
+  a.Add(T(2), -1);
+  b.Add(T(1), -2);
+  b.Add(T(3), 5);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(T(1)), 0);
+  EXPECT_EQ(a.Count(T(2)), -1);
+  EXPECT_EQ(a.Count(T(3)), 5);
+}
+
+TEST(DeltaMultisetTest, PositiveAndNegativeTotals) {
+  DeltaMultiset d;
+  d.Add(T(1), 3);
+  d.Add(T(2), -2);
+  d.Add(T(3), 1);
+  EXPECT_EQ(d.PositiveTotal(), 4);
+  EXPECT_EQ(d.NegativeTotal(), 2);
+  EXPECT_FALSE(d.IsNonNegative());
+  d.Add(T(2), 2);
+  EXPECT_TRUE(d.IsNonNegative());
+}
+
+TEST(DeltaMultisetTest, EqualityIsOrderInsensitive) {
+  DeltaMultiset a, b;
+  a.Add(T(1), 1);
+  a.Add(T(2), 2);
+  b.Add(T(2), 2);
+  b.Add(T(1), 1);
+  EXPECT_EQ(a, b);
+  b.Add(T(3), 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DeltaMultisetTest, ForEachVisitsEveryEntry) {
+  DeltaMultiset d;
+  d.Add(T(1), 1);
+  d.Add(T(2), -4);
+  int64_t sum = 0;
+  size_t visits = 0;
+  d.ForEach([&](const Tuple&, int64_t c) {
+    sum += c;
+    ++visits;
+  });
+  EXPECT_EQ(sum, -3);
+  EXPECT_EQ(visits, 2u);
+}
+
+TEST(DeltaMultisetTest, ToStringIsSortedAndStable) {
+  DeltaMultiset d;
+  d.Add(T(2), -1);
+  d.Add(T(1), 2);
+  EXPECT_EQ(d.ToString(), "{(1):2, (2):-1}");
+}
+
+TEST(DeltaSetTest, PerTableIsolation) {
+  DeltaSet set;
+  set.ForTable("A").Add(T(1), 1);
+  set.ForTable("B").Add(T(2), -1);
+  EXPECT_EQ(set.Get("A").Count(T(1)), 1);
+  EXPECT_EQ(set.Get("B").Count(T(2)), -1);
+  EXPECT_EQ(set.Get("C").Count(T(1)), 0);  // Unknown table: empty delta.
+  EXPECT_EQ(set.TotalMagnitude(), 2);
+  EXPECT_FALSE(set.empty());
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(DeltaSetTest, EmptyAfterCancellation) {
+  DeltaSet set;
+  set.ForTable("A").Add(T(1), 1);
+  set.ForTable("A").Add(T(1), -1);
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace view
+}  // namespace fgpdb

@@ -1,0 +1,204 @@
+// Property tests for incremental view maintenance beyond label updates:
+// random interleavings of INSERT / DELETE / UPDATE, delta batching
+// invariance, and seed sweeps. These are the invariants Eq. 6 rests on.
+#include <gtest/gtest.h>
+
+#include "ra/executor.h"
+#include "sql/binder.h"
+#include "test_helpers.h"
+#include "view/incremental.h"
+
+namespace fgpdb {
+namespace {
+
+using testing::ToMultiset;
+
+// A table of ORDERS(ID pk, CUST, ITEM, QTY) mutated by random DML.
+Table* MakeOrdersTable(Database* db) {
+  Schema schema(
+      {
+          Attribute{"ID", ValueType::kInt64},
+          Attribute{"CUST", ValueType::kString},
+          Attribute{"ITEM", ValueType::kString},
+          Attribute{"QTY", ValueType::kInt64},
+      },
+      0);
+  return db->CreateTable("ORDERS", std::move(schema));
+}
+
+class RandomDml {
+ public:
+  RandomDml(Table* table, uint64_t seed) : table_(table), rng_(seed) {}
+
+  // Performs one random insert/update/delete, recording the delta.
+  void Step(view::DeltaSet* deltas) {
+    const double r = rng_.Uniform();
+    if (r < 0.4 || live_rows_.empty()) {
+      Insert(deltas);
+    } else if (r < 0.8) {
+      Update(deltas);
+    } else {
+      Delete(deltas);
+    }
+  }
+
+ private:
+  void Insert(view::DeltaSet* deltas) {
+    Tuple t{Value::Int(next_id_++), RandomCust(), RandomItem(),
+            Value::Int(1 + static_cast<int64_t>(rng_.UniformInt(5u)))};
+    live_rows_.push_back(table_->Insert(t));
+    deltas->ForTable("ORDERS").Add(t, 1);
+  }
+
+  void Update(view::DeltaSet* deltas) {
+    const size_t pick = rng_.UniformInt(live_rows_.size());
+    const RowId row = live_rows_[pick];
+    const Tuple old_tuple = table_->Get(row);
+    if (rng_.Bernoulli(0.5)) {
+      table_->UpdateField(row, 1, RandomCust());
+    } else {
+      table_->UpdateField(
+          row, 3, Value::Int(1 + static_cast<int64_t>(rng_.UniformInt(5u))));
+    }
+    deltas->ForTable("ORDERS").Add(old_tuple, -1);
+    deltas->ForTable("ORDERS").Add(table_->Get(row), 1);
+  }
+
+  void Delete(view::DeltaSet* deltas) {
+    const size_t pick = rng_.UniformInt(live_rows_.size());
+    const RowId row = live_rows_[pick];
+    deltas->ForTable("ORDERS").Add(table_->Get(row), -1);
+    table_->Delete(row);
+    live_rows_[pick] = live_rows_.back();
+    live_rows_.pop_back();
+  }
+
+  Value RandomCust() {
+    static const std::vector<std::string> kCusts = {"alice", "bob", "carol"};
+    return Value::String(kCusts[rng_.UniformInt(kCusts.size())]);
+  }
+  Value RandomItem() {
+    static const std::vector<std::string> kItems = {"nail", "bolt", "gear",
+                                                    "cog"};
+    return Value::String(kItems[rng_.UniformInt(kItems.size())]);
+  }
+
+  Table* table_;
+  Rng rng_;
+  std::vector<RowId> live_rows_;
+  int64_t next_id_ = 0;
+};
+
+struct DmlCase {
+  const char* query;
+  uint64_t seed;
+};
+
+class DmlPropertyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(DmlPropertyTest, IncrementalTracksRandomDml) {
+  const auto& [query, seed] = GetParam();
+  Database db;
+  Table* table = MakeOrdersTable(&db);
+  RandomDml dml(table, static_cast<uint64_t>(seed));
+
+  // Start from a non-empty table.
+  {
+    view::DeltaSet ignored;
+    for (int i = 0; i < 20; ++i) dml.Step(&ignored);
+  }
+  ra::PlanPtr plan = sql::PlanQuery(query, db);
+  view::MaterializedView view(*plan);
+  view.Initialize(db);
+
+  Rng rng(static_cast<uint64_t>(seed) * 977 + 3);
+  for (int round = 0; round < 120; ++round) {
+    view::DeltaSet deltas;
+    const int ops = 1 + static_cast<int>(rng.UniformInt(5u));
+    for (int i = 0; i < ops; ++i) dml.Step(&deltas);
+    view.Apply(deltas);
+    ASSERT_EQ(view.contents(), ToMultiset(ra::Execute(*plan, db)))
+        << "round " << round << " query " << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesTimesSeeds, DmlPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(
+            "SELECT ITEM FROM ORDERS WHERE QTY >= 3",
+            "SELECT CUST, COUNT(*), SUM(QTY) FROM ORDERS GROUP BY CUST",
+            "SELECT CUST FROM ORDERS GROUP BY CUST "
+            "HAVING COUNT_IF(QTY >= 4) = COUNT_IF(QTY <= 2)",
+            "SELECT DISTINCT CUST, ITEM FROM ORDERS",
+            "SELECT A.ITEM, B.ITEM FROM ORDERS A, ORDERS B "
+            "WHERE A.CUST = B.CUST AND A.QTY < B.QTY",
+            "SELECT ITEM, MIN(QTY), MAX(QTY), AVG(QTY) FROM ORDERS "
+            "GROUP BY ITEM"),
+        ::testing::Range(1, 5)));
+
+TEST(DeltaBatchingTest, SplitAndMergedDeltasGiveSameContents) {
+  // Applying updates as one big delta round or as many small rounds must
+  // produce identical view contents (associativity of Eq. 6 folding).
+  const char* query =
+      "SELECT CUST, COUNT(*) FROM ORDERS WHERE QTY >= 2 GROUP BY CUST";
+  auto run = [&](size_t rounds_between_apply) {
+    Database db;
+    Table* table = MakeOrdersTable(&db);
+    RandomDml dml(table, 42);
+    {
+      view::DeltaSet ignored;
+      for (int i = 0; i < 15; ++i) dml.Step(&ignored);
+    }
+    ra::PlanPtr plan = sql::PlanQuery(query, db);
+    view::MaterializedView view(*plan);
+    view.Initialize(db);
+    view::DeltaSet pending;
+    for (int step = 0; step < 90; ++step) {
+      dml.Step(&pending);
+      if ((step + 1) % rounds_between_apply == 0) {
+        view.Apply(pending);
+        pending.Clear();
+      }
+    }
+    view.Apply(pending);
+    return view.contents();
+  };
+  const auto every_step = run(1);
+  const auto every_ten = run(10);
+  const auto one_shot = run(1000);
+  EXPECT_EQ(every_step, every_ten);
+  EXPECT_EQ(every_step, one_shot);
+}
+
+TEST(DeltaBatchingTest, CoalescedRoundTripsVanishThroughViews) {
+  // An update immediately undone within one delta round must leave both the
+  // delta and the view untouched.
+  Database db;
+  Table* table = MakeOrdersTable(&db);
+  Tuple t{Value::Int(0), Value::String("alice"), Value::String("gear"),
+          Value::Int(3)};
+  const RowId row = table->Insert(t);
+  ra::PlanPtr plan = sql::PlanQuery("SELECT CUST FROM ORDERS", db);
+  view::MaterializedView view(*plan);
+  view.Initialize(db);
+  const auto before = view.contents();
+
+  view::DeltaSet deltas;
+  const Tuple old_tuple = table->Get(row);
+  table->UpdateField(row, 3, Value::Int(5));
+  deltas.ForTable("ORDERS").Add(old_tuple, -1);
+  deltas.ForTable("ORDERS").Add(table->Get(row), 1);
+  const Tuple mid_tuple = table->Get(row);
+  table->UpdateField(row, 3, Value::Int(3));
+  deltas.ForTable("ORDERS").Add(mid_tuple, -1);
+  deltas.ForTable("ORDERS").Add(table->Get(row), 1);
+
+  EXPECT_TRUE(deltas.empty());
+  view.Apply(deltas);
+  EXPECT_EQ(view.contents(), before);
+}
+
+}  // namespace
+}  // namespace fgpdb
