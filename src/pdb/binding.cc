@@ -8,14 +8,19 @@ namespace pdb {
 factor::VarId TupleBinding::Bind(std::string table, RowId row, size_t column,
                                  std::shared_ptr<const factor::Domain> domain) {
   FGPDB_CHECK(domain != nullptr);
-  fields_.push_back(FieldRef{std::move(table), row, column, std::move(domain)});
-  return static_cast<factor::VarId>(fields_.size() - 1);
+  if (fields_.use_count() > 1) {
+    fields_ = std::make_shared<std::vector<FieldRef>>(*fields_);
+  }
+  fields_->push_back(
+      FieldRef{std::move(table), row, column, std::move(domain)});
+  return static_cast<factor::VarId>(fields_->size() - 1);
 }
 
 factor::World TupleBinding::LoadWorld(const Database& db) const {
-  factor::World world(fields_.size());
-  for (size_t v = 0; v < fields_.size(); ++v) {
-    const FieldRef& ref = fields_[v];
+  const std::vector<FieldRef>& fields = *fields_;
+  factor::World world(fields.size());
+  for (size_t v = 0; v < fields.size(); ++v) {
+    const FieldRef& ref = fields[v];
     const Table* table = db.RequireTable(ref.table);
     const Value& value = table->Get(ref.row).at(ref.column);
     world.Set(static_cast<factor::VarId>(v),
@@ -25,9 +30,10 @@ factor::World TupleBinding::LoadWorld(const Database& db) const {
 }
 
 void TupleBinding::StoreWorld(const factor::World& world, Database* db) const {
-  FGPDB_CHECK_EQ(world.size(), fields_.size());
-  for (size_t v = 0; v < fields_.size(); ++v) {
-    const FieldRef& ref = fields_[v];
+  const std::vector<FieldRef>& fields = *fields_;
+  FGPDB_CHECK_EQ(world.size(), fields.size());
+  for (size_t v = 0; v < fields.size(); ++v) {
+    const FieldRef& ref = fields[v];
     Table* table = db->RequireTable(ref.table);
     table->UpdateField(ref.row, ref.column,
                        ref.domain->value(world.Get(static_cast<factor::VarId>(v))));
@@ -38,7 +44,7 @@ void TupleBinding::ApplyToDatabase(
     const std::vector<factor::AppliedAssignment>& applied, Database* db,
     view::DeltaSet* deltas) const {
   for (const auto& a : applied) {
-    const FieldRef& ref = fields_.at(a.var);
+    const FieldRef& ref = fields_->at(a.var);
     Table* table = db->RequireTable(ref.table);
     const Tuple old_tuple = table->Get(ref.row);  // Copy before mutation.
     table->UpdateField(ref.row, ref.column, ref.domain->value(a.new_value));
@@ -52,8 +58,8 @@ void TupleBinding::ApplyToDatabase(
 
 std::vector<size_t> TupleBinding::DomainSizes() const {
   std::vector<size_t> sizes;
-  sizes.reserve(fields_.size());
-  for (const auto& ref : fields_) sizes.push_back(ref.domain->size());
+  sizes.reserve(fields_->size());
+  for (const auto& ref : *fields_) sizes.push_back(ref.domain->size());
   return sizes;
 }
 

@@ -6,6 +6,12 @@
 // loading a World from the stored world, and mirroring accepted MCMC
 // changes back into tables while accumulating the Δ−/Δ+ auxiliary sets the
 // materialized evaluator consumes (paper §4.2's "added"/"deleted" tables).
+//
+// The field list sits behind a shared pointer with copy-on-write on Bind():
+// copying a TupleBinding is O(1), so spawning a per-chain world (paper
+// §5.4) does not re-copy one FieldRef per variable. Bindings are append-
+// only during setup and read-only during inference, so chains can share
+// one field list safely across threads.
 #ifndef FGPDB_PDB_BINDING_H_
 #define FGPDB_PDB_BINDING_H_
 
@@ -30,13 +36,16 @@ class TupleBinding {
     std::shared_ptr<const factor::Domain> domain;
   };
 
+  TupleBinding() : fields_(std::make_shared<std::vector<FieldRef>>()) {}
+
   /// Binds the next variable id (they must be registered in order 0,1,2,…)
-  /// to a field slot. Returns the variable id.
+  /// to a field slot. Returns the variable id. Copies the field list
+  /// privately first if it is shared with another binding.
   factor::VarId Bind(std::string table, RowId row, size_t column,
                      std::shared_ptr<const factor::Domain> domain);
 
-  size_t num_variables() const { return fields_.size(); }
-  const FieldRef& field(factor::VarId var) const { return fields_.at(var); }
+  size_t num_variables() const { return fields_->size(); }
+  const FieldRef& field(factor::VarId var) const { return fields_->at(var); }
 
   /// Builds a world whose variable values are the domain indexes of the
   /// currently stored field values.
@@ -56,7 +65,8 @@ class TupleBinding {
   std::vector<size_t> DomainSizes() const;
 
  private:
-  std::vector<FieldRef> fields_;
+  // Shared across copies (per-chain worlds); copied privately on Bind().
+  std::shared_ptr<std::vector<FieldRef>> fields_;
 };
 
 }  // namespace pdb

@@ -1,10 +1,43 @@
 #include "pdb/parallel_evaluator.h"
 
+#include <algorithm>
+#include <mutex>
+
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace fgpdb {
 namespace pdb {
+
+namespace {
+
+// Builds, runs, and tears down one chain: a copy-on-write snapshot of the
+// base world, a fresh proposal, and an evaluator. All chain state lives and
+// dies inside this call, so a pool running T worker threads holds at most T
+// worlds at a time no matter how many chains are requested.
+QueryAnswer RunChain(const ProbabilisticDatabase& pdb, const ra::PlanNode& plan,
+                     const ProposalFactory& make_proposal,
+                     const ParallelOptions& options, size_t chain_index) {
+  std::unique_ptr<ProbabilisticDatabase> world = pdb.Snapshot();
+  std::unique_ptr<infer::Proposal> proposal = make_proposal(*world);
+  EvaluatorOptions chain_options = options.chain_options;
+  // Decorrelate chains: each gets its own seed stream, a function of the
+  // chain index alone so scheduling cannot change results.
+  chain_options.seed =
+      options.chain_options.seed + 0x9e3779b97f4a7c15ULL * (chain_index + 1);
+  std::unique_ptr<QueryEvaluator> evaluator;
+  if (options.materialized) {
+    evaluator = std::make_unique<MaterializedQueryEvaluator>(
+        world.get(), proposal.get(), &plan, chain_options);
+  } else {
+    evaluator = std::make_unique<NaiveQueryEvaluator>(
+        world.get(), proposal.get(), &plan, chain_options);
+  }
+  evaluator->Run(options.samples_per_chain);
+  return evaluator->answer();
+}
+
+}  // namespace
 
 QueryAnswer EvaluateParallel(const ProbabilisticDatabase& pdb,
                              const ra::PlanNode& plan,
@@ -12,45 +45,31 @@ QueryAnswer EvaluateParallel(const ProbabilisticDatabase& pdb,
                              const ParallelOptions& options) {
   FGPDB_CHECK_GT(options.num_chains, 0u);
 
-  struct Chain {
-    std::unique_ptr<ProbabilisticDatabase> world;
-    std::unique_ptr<infer::Proposal> proposal;
-    std::unique_ptr<QueryEvaluator> evaluator;
-  };
-  std::vector<Chain> chains(options.num_chains);
-  for (size_t b = 0; b < options.num_chains; ++b) {
-    Chain& chain = chains[b];
-    chain.world = pdb.Clone();
-    chain.proposal = make_proposal(*chain.world);
-    EvaluatorOptions chain_options = options.chain_options;
-    // Decorrelate chains: each gets its own seed stream.
-    chain_options.seed =
-        options.chain_options.seed + 0x9e3779b97f4a7c15ULL * (b + 1);
-    if (options.materialized) {
-      chain.evaluator = std::make_unique<MaterializedQueryEvaluator>(
-          chain.world.get(), chain.proposal.get(), &plan, chain_options);
-    } else {
-      chain.evaluator = std::make_unique<NaiveQueryEvaluator>(
-          chain.world.get(), chain.proposal.get(), &plan, chain_options);
-    }
-  }
-
-  auto run_chain = [&](size_t b) {
-    chains[b].evaluator->Run(options.samples_per_chain);
-  };
-
+  QueryAnswer merged;
   if (options.use_threads && options.num_chains > 1) {
-    ThreadPool pool(options.num_chains);
+    const size_t num_threads =
+        options.max_threads > 0
+            ? std::min(options.max_threads, options.num_chains)
+            : ThreadPool::DefaultThreadCount(options.num_chains);
+    std::mutex merge_mu;
+    ThreadPool pool(num_threads);
     for (size_t b = 0; b < options.num_chains; ++b) {
-      pool.Submit([&, b] { run_chain(b); });
+      pool.Submit([&, b] {
+        // Streaming merge: fold this chain in as soon as it finishes, while
+        // other chains are still sampling. Counts are integers, so the
+        // merge order cannot change the result.
+        const QueryAnswer answer =
+            RunChain(pdb, plan, make_proposal, options, b);
+        std::lock_guard<std::mutex> lock(merge_mu);
+        merged.Merge(answer);
+      });
     }
     pool.Wait();
   } else {
-    for (size_t b = 0; b < options.num_chains; ++b) run_chain(b);
+    for (size_t b = 0; b < options.num_chains; ++b) {
+      merged.Merge(RunChain(pdb, plan, make_proposal, options, b));
+    }
   }
-
-  QueryAnswer merged;
-  for (const Chain& chain : chains) merged.Merge(chain.evaluator->answer());
   return merged;
 }
 

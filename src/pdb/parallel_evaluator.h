@@ -1,9 +1,20 @@
 // Multi-chain parallel query evaluation (paper §5.4).
 //
-// Runs B independent Metropolis–Hastings chains, each over its own deep
-// copy of the world, and averages their marginal counts. Cross-chain
-// samples are far more independent than within-chain samples, which is why
-// the paper observes super-linear error reduction in the number of chains.
+// Runs B independent Metropolis–Hastings chains, each over its own
+// copy-on-write snapshot of the world, and averages their marginal counts.
+// Cross-chain samples are far more independent than within-chain samples,
+// which is why the paper observes super-linear error reduction in the
+// number of chains.
+//
+// Chains are scheduled onto a fixed-size thread pool capped at the hardware
+// concurrency (never one thread per chain), each chain's world/proposal/
+// evaluator are built inside its pool task and freed when it ends, and every
+// finished chain folds its answer into the merged result under a mutex.
+// Consequences: chain counts far beyond the core count are safe, peak
+// memory is O(#threads) worlds rather than O(#chains), and merging overlaps
+// sampling instead of running as a serial post-pass. Marginal counts are
+// integers, so the merged answer is identical regardless of completion
+// order — threaded and sequential runs agree bitwise for fixed seeds.
 #ifndef FGPDB_PDB_PARALLEL_EVALUATOR_H_
 #define FGPDB_PDB_PARALLEL_EVALUATOR_H_
 
@@ -25,15 +36,22 @@ struct ParallelOptions {
   /// Run chains on worker threads; false = sequential (deterministic order,
   /// useful with a single core or in tests).
   bool use_threads = true;
+  /// Worker threads when use_threads is set. 0 = min(num_chains, hardware
+  /// concurrency); never more threads than chains.
+  size_t max_threads = 0;
 };
 
 /// Factory producing a fresh per-chain proposal (proposals hold chain-local
-/// state such as the §5.1 document batch, so they cannot be shared).
+/// state such as the §5.1 document batch, so they cannot be shared). Invoked
+/// on pool worker threads, possibly concurrently — it must be safe to call
+/// from several threads at once (both in-tree proposal factories are: they
+/// only read shared immutable setup state).
 using ProposalFactory =
     std::function<std::unique_ptr<infer::Proposal>(ProbabilisticDatabase&)>;
 
-/// Clones `pdb` into `options.num_chains` worlds, runs each chain for
-/// `samples_per_chain` samples, and returns the merged (averaged) answer.
+/// Snapshots `pdb` into `options.num_chains` copy-on-write worlds, runs each
+/// chain for `samples_per_chain` samples on a hardware-sized thread pool,
+/// and returns the merged (averaged) answer. `pdb` itself is never mutated.
 QueryAnswer EvaluateParallel(const ProbabilisticDatabase& pdb,
                              const ra::PlanNode& plan,
                              const ProposalFactory& make_proposal,

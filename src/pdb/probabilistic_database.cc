@@ -14,11 +14,11 @@ std::unique_ptr<infer::MetropolisHastings> ProbabilisticDatabase::MakeSampler(
   return sampler;
 }
 
-std::unique_ptr<ProbabilisticDatabase> ProbabilisticDatabase::Clone() const {
+std::unique_ptr<ProbabilisticDatabase> ProbabilisticDatabase::Snapshot() const {
   auto copy = std::make_unique<ProbabilisticDatabase>();
-  copy->db_ = db_->Clone();
-  copy->binding_ = binding_;
-  copy->world_ = world_;
+  copy->db_ = db_->Snapshot();
+  copy->binding_ = binding_;  // O(1): the field list is shared (COW).
+  copy->world_ = world_;      // Dense POD vector; each chain mutates it all.
   copy->model_ = model_;
   return copy;
 }

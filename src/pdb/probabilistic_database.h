@@ -64,10 +64,18 @@ class ProbabilisticDatabase {
   /// Discards pending deltas (e.g. after a full re-evaluation).
   void DiscardDeltas() { pending_deltas_.Clear(); }
 
-  /// Clones the database, world, and binding for an independent chain
-  /// (paper §5.4). The model pointer is shared — models are read-only
-  /// during inference.
-  std::unique_ptr<ProbabilisticDatabase> Clone() const;
+  /// Copy-on-write copy of the database, world, and binding for an
+  /// independent chain (paper §5.4): table pages, indexes, and the field
+  /// binding are shared until written (see Database::Snapshot), so spawning
+  /// chain B+1 is O(#pages) rather than O(|DB|). The model pointer is
+  /// shared — models are read-only during inference. Safe to call
+  /// concurrently as long as this database is not being mutated.
+  std::unique_ptr<ProbabilisticDatabase> Snapshot() const;
+
+  /// Logical deep copy for an independent chain. Backed by Snapshot():
+  /// isolation semantics are identical, only the cost model changed (lazy
+  /// per-page copies instead of an eager O(|DB|) copy).
+  std::unique_ptr<ProbabilisticDatabase> Clone() const { return Snapshot(); }
 
  private:
   std::unique_ptr<Database> db_;

@@ -57,4 +57,12 @@ std::unique_ptr<Database> Database::Clone() const {
   return copy;
 }
 
+std::unique_ptr<Database> Database::Snapshot() const {
+  auto copy = std::make_unique<Database>();
+  for (const auto& [name, table] : tables_) {
+    copy->tables_.emplace(name, table->Snapshot());
+  }
+  return copy;
+}
+
 }  // namespace fgpdb

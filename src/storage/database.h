@@ -33,8 +33,16 @@ class Database {
   /// Names of all tables (unspecified order).
   std::vector<std::string> TableNames() const;
 
-  /// Deep copy of the entire world (paper §5.4 parallel chains).
+  /// Deep copy of the entire world: every table page and index duplicated
+  /// eagerly (the baseline Snapshot() is measured against).
   std::unique_ptr<Database> Clone() const;
+
+  /// Copy-on-write copy of the entire world: all tables snapshotted in
+  /// O(#pages) total (see Table::Snapshot). Logically equivalent to Clone();
+  /// this is how per-chain worlds are spawned for parallel evaluation
+  /// (paper §5.4). Safe to call concurrently from several threads as long
+  /// as the base database is not being mutated.
+  std::unique_ptr<Database> Snapshot() const;
 
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;

@@ -9,23 +9,64 @@ namespace fgpdb {
 const std::vector<RowId> Table::kEmptyRowList;
 
 Table::Table(std::string name, Schema schema)
-    : name_(std::move(name)), schema_(std::move(schema)) {}
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      pk_index_(std::make_shared<PkIndex>()) {}
+
+Tuple& Table::MutableRow(RowId row) {
+  std::shared_ptr<Page>& page = pages_[PageOf(row)];
+  // use_count() == 1 means this table is the sole owner: no snapshot can
+  // observe the mutation. Otherwise copy the page privately first.
+  if (page.use_count() > 1) page = std::make_shared<Page>(*page);
+  return (*page)[SlotOf(row)];
+}
+
+Table::Page& Table::MutableLastPage() {
+  std::shared_ptr<Page>& page = pages_.back();
+  if (page.use_count() > 1) {
+    auto copy = std::make_shared<Page>();
+    copy->reserve(kPageSize);
+    *copy = *page;
+    page = std::move(copy);
+  }
+  return *page;
+}
+
+Table::PkIndex& Table::MutablePkIndex() {
+  if (pk_index_.use_count() > 1) {
+    pk_index_ = std::make_shared<PkIndex>(*pk_index_);
+  }
+  return *pk_index_;
+}
+
+Table::ColumnIndex& Table::MutableColumnIndex(size_t column) {
+  std::shared_ptr<ColumnIndex>& index = secondary_indexes_.at(column);
+  if (index.use_count() > 1) {
+    index = std::make_shared<ColumnIndex>(*index);
+  }
+  return *index;
+}
 
 RowId Table::Insert(Tuple tuple) {
   FGPDB_CHECK_EQ(tuple.arity(), schema_.arity())
       << "arity mismatch inserting into " << name_;
-  const RowId row = rows_.size();
+  const RowId row = deleted_.size();
   if (schema_.primary_key().has_value()) {
     const Value& key = tuple.at(*schema_.primary_key());
-    const bool inserted = pk_index_.emplace(key, row).second;
+    const bool inserted = MutablePkIndex().emplace(key, row).second;
     FGPDB_CHECK(inserted) << "duplicate primary key " << key.ToString()
                           << " in " << name_;
   }
-  for (auto& [column, index] : secondary_indexes_) {
+  for (const auto& [column, index] : secondary_indexes_) {
     (void)index;
     IndexInsert(column, tuple.at(column), row);
   }
-  rows_.push_back(std::move(tuple));
+  if (PageOf(row) == pages_.size()) {
+    auto page = std::make_shared<Page>();
+    page->reserve(kPageSize);
+    pages_.push_back(std::move(page));
+  }
+  MutableLastPage().push_back(std::move(tuple));
   deleted_.push_back(false);
   ++live_rows_;
   return row;
@@ -33,11 +74,11 @@ RowId Table::Insert(Tuple tuple) {
 
 void Table::Delete(RowId row) {
   FGPDB_CHECK(IsLive(row)) << "delete of dead row " << row << " in " << name_;
-  const Tuple& tuple = rows_[row];
+  const Tuple& tuple = RowRef(row);
   if (schema_.primary_key().has_value()) {
-    pk_index_.erase(tuple.at(*schema_.primary_key()));
+    MutablePkIndex().erase(tuple.at(*schema_.primary_key()));
   }
-  for (auto& [column, index] : secondary_indexes_) {
+  for (const auto& [column, index] : secondary_indexes_) {
     (void)index;
     IndexErase(column, tuple.at(column), row);
   }
@@ -47,40 +88,42 @@ void Table::Delete(RowId row) {
 
 const Tuple& Table::Get(RowId row) const {
   FGPDB_CHECK(IsLive(row)) << "get of dead row " << row << " in " << name_;
-  return rows_[row];
+  return RowRef(row);
 }
 
 Value Table::UpdateField(RowId row, size_t column, Value value) {
   FGPDB_CHECK(IsLive(row)) << "update of dead row " << row << " in " << name_;
   FGPDB_CHECK_LT(column, schema_.arity());
-  Tuple& tuple = rows_[row];
-  Value old = tuple.at(column);
+  Value old = RowRef(row).at(column);
   if (old == value) return old;
   if (schema_.primary_key() == column) {
-    pk_index_.erase(old);
-    const bool inserted = pk_index_.emplace(value, row).second;
+    PkIndex& pk = MutablePkIndex();
+    pk.erase(old);
+    const bool inserted = pk.emplace(value, row).second;
     FGPDB_CHECK(inserted) << "primary key collision updating " << name_;
   }
   if (secondary_indexes_.count(column) > 0) {
     IndexErase(column, old, row);
     IndexInsert(column, value, row);
   }
-  tuple.at(column) = std::move(value);
+  MutableRow(row).at(column) = std::move(value);
   return old;
 }
 
 RowId Table::LookupByKey(const Value& key) const {
-  const auto it = pk_index_.find(key);
-  return it == pk_index_.end() ? kInvalidRowId : it->second;
+  const auto it = pk_index_->find(key);
+  return it == pk_index_->end() ? kInvalidRowId : it->second;
 }
 
 void Table::CreateIndex(size_t column) {
   FGPDB_CHECK_LT(column, schema_.arity());
-  auto& index = secondary_indexes_[column];
-  index.clear();
-  for (RowId row = 0; row < rows_.size(); ++row) {
-    if (!deleted_[row]) index[rows_[row].at(column)].push_back(row);
+  // Built fresh into its own allocation, so no copy-up is needed and a
+  // shared predecessor index (if any) is simply released.
+  auto index = std::make_shared<ColumnIndex>();
+  for (RowId row = 0; row < deleted_.size(); ++row) {
+    if (!deleted_[row]) (*index)[RowRef(row).at(column)].push_back(row);
   }
+  secondary_indexes_[column] = std::move(index);
 }
 
 const std::vector<RowId>& Table::IndexLookup(size_t column,
@@ -88,13 +131,18 @@ const std::vector<RowId>& Table::IndexLookup(size_t column,
   const auto index_it = secondary_indexes_.find(column);
   FGPDB_CHECK(index_it != secondary_indexes_.end())
       << "no index on column " << column << " of " << name_;
-  const auto it = index_it->second.find(value);
-  return it == index_it->second.end() ? kEmptyRowList : it->second;
+  const ColumnIndex& index = *index_it->second;
+  const auto it = index.find(value);
+  return it == index.end() ? kEmptyRowList : it->second;
 }
 
 void Table::Scan(const std::function<void(RowId, const Tuple&)>& fn) const {
-  for (RowId row = 0; row < rows_.size(); ++row) {
-    if (!deleted_[row]) fn(row, rows_[row]);
+  RowId row = 0;
+  for (const auto& page : pages_) {
+    for (const Tuple& tuple : *page) {
+      if (!deleted_[row]) fn(row, tuple);
+      ++row;
+    }
   }
 }
 
@@ -107,7 +155,22 @@ std::vector<Tuple> Table::Rows() const {
 
 std::unique_ptr<Table> Table::Clone() const {
   auto copy = std::make_unique<Table>(name_, schema_);
-  copy->rows_ = rows_;
+  copy->pages_.reserve(pages_.size());
+  for (const auto& page : pages_) {
+    copy->pages_.push_back(std::make_shared<Page>(*page));
+  }
+  copy->deleted_ = deleted_;
+  copy->live_rows_ = live_rows_;
+  copy->pk_index_ = std::make_shared<PkIndex>(*pk_index_);
+  for (const auto& [column, index] : secondary_indexes_) {
+    copy->secondary_indexes_[column] = std::make_shared<ColumnIndex>(*index);
+  }
+  return copy;
+}
+
+std::unique_ptr<Table> Table::Snapshot() const {
+  auto copy = std::make_unique<Table>(name_, schema_);
+  copy->pages_ = pages_;
   copy->deleted_ = deleted_;
   copy->live_rows_ = live_rows_;
   copy->pk_index_ = pk_index_;
@@ -115,12 +178,20 @@ std::unique_ptr<Table> Table::Clone() const {
   return copy;
 }
 
+size_t Table::SharedPageCount() const {
+  size_t shared = 0;
+  for (const auto& page : pages_) {
+    if (page.use_count() > 1) ++shared;
+  }
+  return shared;
+}
+
 void Table::IndexInsert(size_t column, const Value& value, RowId row) {
-  secondary_indexes_[column][value].push_back(row);
+  MutableColumnIndex(column)[value].push_back(row);
 }
 
 void Table::IndexErase(size_t column, const Value& value, RowId row) {
-  auto& index = secondary_indexes_[column];
+  ColumnIndex& index = MutableColumnIndex(column);
   const auto it = index.find(value);
   FGPDB_CHECK(it != index.end());
   auto& rows = it->second;

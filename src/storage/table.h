@@ -5,6 +5,20 @@
 // Apache Derby: a blackbox relational engine that always stores a single
 // possible world. Uncertain fields are updated in place by the MCMC driver
 // via UpdateField.
+//
+// Rows live in fixed-size copy-on-write pages and the indexes behind shared
+// pointers, so Snapshot() produces a logically independent table in
+// O(row_capacity / kPageSize): both sides keep reading the shared state and
+// privately copy a page (or an index) the first time they write to it. This
+// is what makes per-chain worlds cheap for the §5.4 parallel evaluator —
+// chain B+1 no longer pays O(|DB|) up front, only for the pages it actually
+// touches while sampling.
+//
+// Thread-safety: distinct Table objects that share pages via Snapshot() may
+// be used from different threads concurrently (copy-up never mutates shared
+// state; reference counts are atomic). A single Table object is not
+// internally synchronized, and snapshotting a table concurrently with
+// mutating it is a data race.
 #ifndef FGPDB_STORAGE_TABLE_H_
 #define FGPDB_STORAGE_TABLE_H_
 
@@ -26,6 +40,10 @@ inline constexpr RowId kInvalidRowId = ~0ULL;
 
 class Table {
  public:
+  /// Rows per copy-on-write page. A write to a shared page copies this many
+  /// tuples once; snapshot creation copies one shared_ptr per page.
+  static constexpr size_t kPageSize = 256;
+
   Table(std::string name, Schema schema);
 
   const std::string& name() const { return name_; }
@@ -35,7 +53,7 @@ class Table {
   size_t size() const { return live_rows_; }
 
   /// Upper bound of the row-id space (including tombstones).
-  size_t row_capacity() const { return rows_.size(); }
+  size_t row_capacity() const { return deleted_.size(); }
 
   /// Inserts a row; returns its stable RowId. Enforces primary-key
   /// uniqueness when the schema declares one.
@@ -46,7 +64,7 @@ class Table {
 
   /// True if `row` is live.
   bool IsLive(RowId row) const {
-    return row < rows_.size() && !deleted_[row];
+    return row < deleted_.size() && !deleted_[row];
   }
 
   /// Returns the row contents. Fatal on dead rows.
@@ -76,25 +94,60 @@ class Table {
   /// Materializes all live rows (testing convenience).
   std::vector<Tuple> Rows() const;
 
-  /// Deep copy (used to clone worlds for parallel chains, paper §5.4).
+  /// Deep copy: every page and index is duplicated eagerly. Kept as the
+  /// baseline Snapshot() is measured against (bench/micro_clone.cpp).
   std::unique_ptr<Table> Clone() const;
 
+  /// Copy-on-write copy: shares row pages and indexes with this table.
+  /// Logically equivalent to Clone() — writes on either side are invisible
+  /// to the other — but costs O(#pages) instead of O(#rows). Used to spawn
+  /// per-chain worlds for parallel evaluation (paper §5.4).
+  std::unique_ptr<Table> Snapshot() const;
+
+  /// Number of row pages (diagnostics).
+  size_t PageCount() const { return pages_.size(); }
+
+  /// Pages whose storage is currently shared with another table — i.e. not
+  /// yet privately copied by a write (diagnostics/tests).
+  size_t SharedPageCount() const;
+
  private:
+  using Page = std::vector<Tuple>;
+  using PkIndex = std::unordered_map<Value, RowId, ValueHasher>;
+  using ColumnIndex =
+      std::unordered_map<Value, std::vector<RowId>, ValueHasher>;
+
+  static size_t PageOf(RowId row) { return row / kPageSize; }
+  static size_t SlotOf(RowId row) { return row % kPageSize; }
+
+  const Tuple& RowRef(RowId row) const {
+    return (*pages_[PageOf(row)])[SlotOf(row)];
+  }
+
+  /// Copy-up accessors: clone the page/index privately if it is shared.
+  Tuple& MutableRow(RowId row);
+  Page& MutableLastPage();
+  PkIndex& MutablePkIndex();
+  ColumnIndex& MutableColumnIndex(size_t column);
+
   void IndexInsert(size_t column, const Value& value, RowId row);
   void IndexErase(size_t column, const Value& value, RowId row);
 
   std::string name_;
   Schema schema_;
-  std::vector<Tuple> rows_;
+  // Row storage: pages_[row / kPageSize] holds slot row % kPageSize. Only
+  // the final page may be partially filled. Pages are shared across
+  // snapshots and copied privately before the first write.
+  std::vector<std::shared_ptr<Page>> pages_;
   std::vector<bool> deleted_;
   size_t live_rows_ = 0;
 
-  // Primary-key index: key value -> row id.
-  std::unordered_map<Value, RowId, ValueHasher> pk_index_;
-  // Secondary indexes: column -> (value -> row ids).
-  std::unordered_map<size_t,
-                     std::unordered_map<Value, std::vector<RowId>, ValueHasher>>
-      secondary_indexes_;
+  // Primary-key index: key value -> row id. Shared across snapshots; copied
+  // privately before the first key mutation. Never null.
+  std::shared_ptr<PkIndex> pk_index_;
+  // Secondary indexes: column -> (value -> row ids), one shared pointer per
+  // column so writes copy only the index they touch.
+  std::unordered_map<size_t, std::shared_ptr<ColumnIndex>> secondary_indexes_;
   static const std::vector<RowId> kEmptyRowList;
 };
 

@@ -4,6 +4,11 @@
 
 namespace fgpdb {
 
+size_t ThreadPool::DefaultThreadCount(size_t num_tasks) {
+  const size_t hardware = std::thread::hardware_concurrency();  // May be 0.
+  return std::max<size_t>(1, std::min(num_tasks, hardware));
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);

@@ -14,6 +14,11 @@ namespace fgpdb {
 
 class ThreadPool {
  public:
+  /// Worker count for `num_tasks` independent CPU-bound tasks: capped at
+  /// the hardware concurrency so oversubmitting (e.g. 32 MCMC chains on 8
+  /// cores) queues work instead of oversubscribing threads. At least 1.
+  static size_t DefaultThreadCount(size_t num_tasks);
+
   /// Starts `num_threads` worker threads (at least 1).
   explicit ThreadPool(size_t num_threads);
 

@@ -8,8 +8,41 @@ namespace view {
 
 const DeltaMultiset DeltaSet::kEmpty;
 
+void DeltaMultiset::Spill() {
+  // Reserve past the current size: a delta that outgrew the inline buffer
+  // is usually still growing (e.g. the Δ set of a long thinning interval).
+  counts_.reserve(4 * kInlineCapacity);
+  for (Entry& entry : inline_entries_) {
+    counts_.emplace(std::move(entry.first), entry.second);
+  }
+  inline_entries_.clear();
+  inline_entries_.shrink_to_fit();
+  spilled_ = true;
+}
+
 void DeltaMultiset::Add(const Tuple& tuple, int64_t count) {
   if (count == 0) return;
+  if (!spilled_) {
+    for (Entry& entry : inline_entries_) {
+      if (entry.first == tuple) {
+        entry.second += count;
+        if (entry.second == 0) {
+          // Swap-and-pop: inline entries are unordered.
+          entry = std::move(inline_entries_.back());
+          inline_entries_.pop_back();
+        }
+        return;
+      }
+    }
+    if (inline_entries_.size() < kInlineCapacity) {
+      if (inline_entries_.capacity() < kInlineCapacity) {
+        inline_entries_.reserve(kInlineCapacity);
+      }
+      inline_entries_.emplace_back(tuple, count);
+      return;
+    }
+    Spill();
+  }
   auto [it, inserted] = counts_.emplace(tuple, count);
   if (!inserted) {
     it->second += count;
@@ -18,49 +51,81 @@ void DeltaMultiset::Add(const Tuple& tuple, int64_t count) {
 }
 
 int64_t DeltaMultiset::Count(const Tuple& tuple) const {
+  if (!spilled_) {
+    for (const Entry& entry : inline_entries_) {
+      if (entry.first == tuple) return entry.second;
+    }
+    return 0;
+  }
   const auto it = counts_.find(tuple);
   return it == counts_.end() ? 0 : it->second;
 }
 
 void DeltaMultiset::Merge(const DeltaMultiset& other) {
-  for (const auto& [tuple, count] : other.counts_) Add(tuple, count);
+  if (!spilled_ &&
+      inline_entries_.size() + other.distinct_size() > kInlineCapacity) {
+    Spill();
+  }
+  if (spilled_) {
+    counts_.reserve(counts_.size() + other.distinct_size());
+  }
+  other.ForEach([this](const Tuple& tuple, int64_t count) {
+    Add(tuple, count);
+  });
 }
 
 void DeltaMultiset::ForEach(
     const std::function<void(const Tuple&, int64_t)>& fn) const {
+  if (!spilled_) {
+    for (const Entry& entry : inline_entries_) fn(entry.first, entry.second);
+    return;
+  }
   for (const auto& [tuple, count] : counts_) fn(tuple, count);
 }
 
 int64_t DeltaMultiset::PositiveTotal() const {
   int64_t total = 0;
-  for (const auto& [tuple, count] : counts_) {
-    (void)tuple;
+  ForEach([&total](const Tuple&, int64_t count) {
     if (count > 0) total += count;
-  }
+  });
   return total;
 }
 
 int64_t DeltaMultiset::NegativeTotal() const {
   int64_t total = 0;
-  for (const auto& [tuple, count] : counts_) {
-    (void)tuple;
+  ForEach([&total](const Tuple&, int64_t count) {
     if (count < 0) total -= count;
-  }
+  });
   return total;
 }
 
 bool DeltaMultiset::IsNonNegative() const {
-  for (const auto& [tuple, count] : counts_) {
-    (void)tuple;
-    if (count < 0) return false;
-  }
-  return true;
+  bool non_negative = true;
+  ForEach([&non_negative](const Tuple&, int64_t count) {
+    if (count < 0) non_negative = false;
+  });
+  return non_negative;
+}
+
+bool DeltaMultiset::operator==(const DeltaMultiset& other) const {
+  // Entries never hold zero counts, so equal size + entry-wise containment
+  // is equality, regardless of which representation each side uses.
+  if (distinct_size() != other.distinct_size()) return false;
+  bool equal = true;
+  ForEach([&](const Tuple& tuple, int64_t count) {
+    if (other.Count(tuple) != count) equal = false;
+  });
+  return equal;
 }
 
 std::string DeltaMultiset::ToString() const {
-  std::vector<std::pair<Tuple, int64_t>> sorted(counts_.begin(), counts_.end());
+  std::vector<Entry> sorted;
+  sorted.reserve(distinct_size());
+  ForEach([&sorted](const Tuple& tuple, int64_t count) {
+    sorted.emplace_back(tuple, count);
+  });
   std::sort(sorted.begin(), sorted.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
   std::string out = "{";
   for (size_t i = 0; i < sorted.size(); ++i) {
     if (i > 0) out += ", ";

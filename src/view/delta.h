@@ -6,6 +6,13 @@
 // rewrites (Eq. 6) linear-algebraic: operators distribute over deltas, and
 // the multiset counters required for projection (the paper's Remark after
 // Eq. 6) fall out naturally.
+//
+// Representation: deltas on the MCMC hot path are tiny — one accepted step
+// contributes a −old/+new pair, and per-operator output deltas are usually
+// a handful of tuples — so small multisets live in a flat vector scanned
+// linearly (no per-entry node allocations, no hashing). Only when a delta
+// outgrows the inline capacity does it spill into an unordered_map, which
+// is pre-reserved so growth does not rehash entry by entry.
 #ifndef FGPDB_VIEW_DELTA_H_
 #define FGPDB_VIEW_DELTA_H_
 
@@ -13,6 +20,8 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "storage/tuple.h"
 
@@ -22,6 +31,9 @@ namespace view {
 class DeltaMultiset {
  public:
   using Map = std::unordered_map<Tuple, int64_t, TupleHasher>;
+
+  /// Distinct tuples held inline (flat vector) before spilling to the map.
+  static constexpr size_t kInlineCapacity = 8;
 
   DeltaMultiset() = default;
 
@@ -38,8 +50,10 @@ class DeltaMultiset {
   /// Applies fn(tuple, count) to every non-zero entry.
   void ForEach(const std::function<void(const Tuple&, int64_t)>& fn) const;
 
-  bool empty() const { return counts_.empty(); }
-  size_t distinct_size() const { return counts_.size(); }
+  bool empty() const { return inline_entries_.empty() && counts_.empty(); }
+  size_t distinct_size() const {
+    return spilled_ ? counts_.size() : inline_entries_.size();
+  }
 
   /// Sum of positive counts (number of inserted tuple instances).
   int64_t PositiveTotal() const;
@@ -50,19 +64,30 @@ class DeltaMultiset {
   /// True if every count is >= 1 (a plain bag, e.g. a view's contents).
   bool IsNonNegative() const;
 
-  const Map& entries() const { return counts_; }
-
-  void Clear() { counts_.clear(); }
-
-  bool operator==(const DeltaMultiset& other) const {
-    return counts_ == other.counts_;
+  void Clear() {
+    inline_entries_.clear();
+    counts_.clear();
+    spilled_ = false;
   }
+
+  bool operator==(const DeltaMultiset& other) const;
 
   /// Diagnostic rendering, sorted for determinism.
   std::string ToString() const;
 
  private:
+  using Entry = std::pair<Tuple, int64_t>;
+
+  /// Moves the inline entries into the map representation, reserving room
+  /// for growth so the fill that follows does not rehash repeatedly.
+  void Spill();
+
+  // Small representation: unsorted entries, linear equality scan. Empty
+  // once spilled_ is set.
+  std::vector<Entry> inline_entries_;
+  // Large representation, used once distinct tuples exceed kInlineCapacity.
   Map counts_;
+  bool spilled_ = false;
 };
 
 /// Per-base-table deltas accumulated between query (re-)evaluations — the

@@ -118,6 +118,36 @@ TEST(ProbabilisticDatabaseTest, CloneIsIndependent) {
   EXPECT_EQ(clone->binding().num_variables(), 4u);
 }
 
+TEST(ProbabilisticDatabaseTest, SnapshotIsIndependentAndCheap) {
+  BindingFixture f;
+  auto snap = f.pdb.Snapshot();
+  // Mutations flow in neither direction.
+  snap->db().RequireTable("T")->UpdateField(1, 1, Value::String("B-PER"));
+  f.table->UpdateField(0, 1, Value::String("B-LOC"));
+  EXPECT_EQ(f.table->Get(1).at(1), Value::String("O"));
+  EXPECT_EQ(snap->db().RequireTable("T")->Get(0).at(1), Value::String("O"));
+  // The snapshot starts with every page shared (no tuples copied yet).
+  auto fresh = f.pdb.Snapshot();
+  EXPECT_EQ(fresh->db().RequireTable("T")->SharedPageCount(),
+            fresh->db().RequireTable("T")->PageCount());
+}
+
+TEST(TupleBindingTest, BindAfterCopyKeepsCopiesIsolated) {
+  // The field list is shared copy-on-write between binding copies; binding
+  // a new variable on either side must not grow the other.
+  BindingFixture f;
+  TupleBinding copy = f.pdb.binding();
+  EXPECT_EQ(copy.num_variables(), 4u);
+  const RowId row = f.table->Insert(Tuple{Value::Int(99), Value::String("O")});
+  f.pdb.binding().Bind("T", row, 1, ie::LabelDomain());
+  EXPECT_EQ(f.pdb.binding().num_variables(), 5u);
+  EXPECT_EQ(copy.num_variables(), 4u);
+  copy.Bind("T", row, 1, ie::LabelDomain());
+  EXPECT_EQ(copy.num_variables(), 5u);
+  EXPECT_EQ(f.pdb.binding().num_variables(), 5u);
+  EXPECT_EQ(copy.field(4).row, row);
+}
+
 TEST(ProbabilisticDatabaseTest, ModelRequiredForSampler) {
   BindingFixture f;
   EXPECT_DEATH(f.pdb.model(), "model not set");

@@ -64,6 +64,64 @@ TEST(ParallelEvaluatorTest, ThreadedAndSequentialAgree) {
   EXPECT_EQ(threaded.SquaredError(sequential), 0.0);
 }
 
+TEST(ParallelEvaluatorTest, ChainsBeyondCoreCountQueueOnThePool) {
+  // 16 chains on a hardware-sized pool (often far fewer workers): excess
+  // chains queue, every chain still runs exactly once, and the streaming
+  // merge must equal the sequential merge bitwise (integer counts).
+  ParallelFixture fixture;
+  ra::PlanPtr plan = sql::PlanQuery(ie::kQuery1, fixture.tokens.pdb->db());
+  ParallelOptions options;
+  options.num_chains = 16;
+  options.samples_per_chain = 4;
+  options.chain_options = {.steps_per_sample = 100, .burn_in = 100, .seed = 7};
+  options.use_threads = true;
+  const QueryAnswer threaded = EvaluateParallel(*fixture.tokens.pdb, *plan,
+                                                fixture.MakeFactory(), options);
+  EXPECT_EQ(threaded.num_samples(), 64u);
+  options.use_threads = false;
+  const QueryAnswer sequential = EvaluateParallel(
+      *fixture.tokens.pdb, *plan, fixture.MakeFactory(), options);
+  EXPECT_EQ(threaded.SquaredError(sequential), 0.0);
+  EXPECT_EQ(threaded.Sorted(), sequential.Sorted());
+}
+
+TEST(ParallelEvaluatorTest, ExplicitThreadCapIsHonoredAndStable) {
+  // max_threads = 2 with 6 chains: results must match the unlimited and
+  // sequential runs — scheduling must never leak into answers.
+  ParallelFixture fixture;
+  ra::PlanPtr plan = sql::PlanQuery(ie::kQuery1, fixture.tokens.pdb->db());
+  ParallelOptions options;
+  options.num_chains = 6;
+  options.samples_per_chain = 5;
+  options.chain_options = {.steps_per_sample = 120, .burn_in = 120, .seed = 11};
+  options.use_threads = true;
+  options.max_threads = 2;
+  const QueryAnswer capped = EvaluateParallel(*fixture.tokens.pdb, *plan,
+                                              fixture.MakeFactory(), options);
+  options.use_threads = false;
+  const QueryAnswer sequential = EvaluateParallel(
+      *fixture.tokens.pdb, *plan, fixture.MakeFactory(), options);
+  EXPECT_EQ(capped.num_samples(), 30u);
+  EXPECT_EQ(capped.SquaredError(sequential), 0.0);
+}
+
+TEST(ParallelEvaluatorTest, BaseWorldIsUntouchedByChains) {
+  // Chains run on copy-on-write snapshots; the base database must come back
+  // bit-identical (the §5.4 contract that lets one base serve many chains).
+  ParallelFixture fixture;
+  ra::PlanPtr plan = sql::PlanQuery(ie::kQuery1, fixture.tokens.pdb->db());
+  const std::vector<Tuple> before =
+      fixture.tokens.pdb->db().RequireTable(ie::kTokenTable)->Rows();
+  ParallelOptions options;
+  options.num_chains = 4;
+  options.samples_per_chain = 5;
+  options.chain_options = {.steps_per_sample = 100, .burn_in = 100, .seed = 5};
+  EvaluateParallel(*fixture.tokens.pdb, *plan, fixture.MakeFactory(), options);
+  const std::vector<Tuple> after =
+      fixture.tokens.pdb->db().RequireTable(ie::kTokenTable)->Rows();
+  EXPECT_EQ(before, after);
+}
+
 TEST(ParallelEvaluatorTest, MoreChainsReduceError) {
   // The Fig. 5 effect: with a fixed per-chain budget, more chains give
   // lower squared error against a long-run reference.

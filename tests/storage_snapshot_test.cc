@@ -1,0 +1,215 @@
+// Copy-on-write snapshot semantics (the storage layer under the §5.4
+// parallel evaluator): snapshots must behave exactly like deep clones —
+// writes on either side invisible to the other — while sharing pages until
+// first write, including when many snapshots of one base are mutated from
+// concurrent threads (run under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "storage/database.h"
+#include "test_helpers.h"
+
+namespace fgpdb {
+namespace {
+
+// Applies the same mutation script to two logically equal tables and
+// asserts their externally visible state stays identical.
+void ExpectSameState(const Table& a, const Table& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.row_capacity(), b.row_capacity());
+  for (RowId row = 0; row < a.row_capacity(); ++row) {
+    ASSERT_EQ(a.IsLive(row), b.IsLive(row)) << "row " << row;
+    if (a.IsLive(row)) {
+      EXPECT_EQ(a.Get(row), b.Get(row)) << "row " << row;
+    }
+  }
+}
+
+TEST(TableSnapshotTest, SharesAllPagesUntilFirstWrite) {
+  Database db;
+  Table* base = testing::MakeEmpTable(&db);
+  EXPECT_EQ(base->SharedPageCount(), 0u);
+  auto snap = base->Snapshot();
+  EXPECT_EQ(base->PageCount(), 1u);
+  EXPECT_EQ(base->SharedPageCount(), 1u);
+  EXPECT_EQ(snap->SharedPageCount(), 1u);
+  snap->UpdateField(0, 3, Value::Int(1));
+  // The write copied the page privately on the snapshot side only.
+  EXPECT_EQ(snap->SharedPageCount(), 0u);
+  EXPECT_EQ(base->SharedPageCount(), 0u);
+}
+
+TEST(TableSnapshotTest, SnapshotWriteIsInvisibleToBaseAndSiblings) {
+  Database db;
+  Table* base = testing::MakeEmpTable(&db);
+  auto left = base->Snapshot();
+  auto right = base->Snapshot();
+  left->UpdateField(0, 2, Value::String("zed"));
+  EXPECT_EQ(left->Get(0).at(2), Value::String("zed"));
+  EXPECT_EQ(base->Get(0).at(2), Value::String("ann"));
+  EXPECT_EQ(right->Get(0).at(2), Value::String("ann"));
+}
+
+TEST(TableSnapshotTest, BaseWriteIsInvisibleToSnapshot) {
+  Database db;
+  Table* base = testing::MakeEmpTable(&db);
+  auto snap = base->Snapshot();
+  base->UpdateField(1, 3, Value::Int(9999));
+  base->Delete(2);
+  EXPECT_EQ(snap->Get(1).at(3), Value::Int(90));
+  EXPECT_TRUE(snap->IsLive(2));
+  EXPECT_EQ(snap->size(), 5u);
+}
+
+TEST(TableSnapshotTest, InsertAndDeleteStayPrivate) {
+  Database db;
+  Table* base = testing::MakeEmpTable(&db);
+  auto snap = base->Snapshot();
+  const RowId added = snap->Insert(Tuple{Value::Int(6), Value::String("eng"),
+                                         Value::String("fox"), Value::Int(60)});
+  snap->Delete(0);
+  EXPECT_EQ(snap->size(), 5u);
+  EXPECT_EQ(base->size(), 5u);
+  EXPECT_FALSE(base->IsLive(added));
+  EXPECT_TRUE(base->IsLive(0));
+  // Primary-key index diverged privately in both directions.
+  EXPECT_EQ(snap->LookupByKey(Value::Int(6)), added);
+  EXPECT_EQ(base->LookupByKey(Value::Int(6)), kInvalidRowId);
+  EXPECT_EQ(snap->LookupByKey(Value::Int(1)), kInvalidRowId);
+  EXPECT_EQ(base->LookupByKey(Value::Int(1)), 0u);
+}
+
+TEST(TableSnapshotTest, SecondaryIndexCopiesOnWrite) {
+  Database db;
+  Table* base = testing::MakeEmpTable(&db);
+  base->CreateIndex(1);  // DEPT
+  auto snap = base->Snapshot();
+  ASSERT_TRUE(snap->HasIndex(1));
+  snap->UpdateField(0, 1, Value::String("qa"));
+  EXPECT_EQ(snap->IndexLookup(1, Value::String("eng")).size(), 1u);
+  EXPECT_EQ(snap->IndexLookup(1, Value::String("qa")).size(), 1u);
+  EXPECT_EQ(base->IndexLookup(1, Value::String("eng")).size(), 2u);
+  EXPECT_EQ(base->IndexLookup(1, Value::String("qa")).size(), 0u);
+}
+
+TEST(TableSnapshotTest, SnapshotOfSnapshotIsIndependent) {
+  Database db;
+  Table* base = testing::MakeEmpTable(&db);
+  auto mid = base->Snapshot();
+  mid->UpdateField(0, 3, Value::Int(111));
+  auto leaf = mid->Snapshot();
+  leaf->UpdateField(0, 3, Value::Int(222));
+  EXPECT_EQ(base->Get(0).at(3), Value::Int(100));
+  EXPECT_EQ(mid->Get(0).at(3), Value::Int(111));
+  EXPECT_EQ(leaf->Get(0).at(3), Value::Int(222));
+}
+
+TEST(TableSnapshotTest, SnapshotMatchesCloneUnderSameMutations) {
+  Database db;
+  Table* base = testing::MakeEmpTable(&db);
+  base->CreateIndex(1);
+  auto clone = base->Clone();
+  auto snap = base->Snapshot();
+  ExpectSameState(*clone, *snap);
+
+  const auto mutate = [](Table* t) {
+    t->UpdateField(0, 3, Value::Int(7));
+    t->UpdateField(0, 1, Value::String("qa"));
+    t->Delete(3);
+    t->Insert(Tuple{Value::Int(42), Value::String("eng"),
+                    Value::String("gil"), Value::Int(55)});
+    t->UpdateField(4, 0, Value::Int(500));  // Primary-key update.
+  };
+  mutate(clone.get());
+  mutate(snap.get());
+  ExpectSameState(*clone, *snap);
+  EXPECT_EQ(clone->LookupByKey(Value::Int(500)),
+            snap->LookupByKey(Value::Int(500)));
+  EXPECT_EQ(clone->IndexLookup(1, Value::String("qa")).size(),
+            snap->IndexLookup(1, Value::String("qa")).size());
+  // The base saw none of it.
+  EXPECT_EQ(base->size(), 5u);
+  EXPECT_EQ(base->Get(0).at(3), Value::Int(100));
+}
+
+TEST(TableSnapshotTest, ScanSeesSnapshotStateExactly) {
+  Database db;
+  Table* base = testing::MakeEmpTable(&db);
+  auto snap = base->Snapshot();
+  snap->UpdateField(2, 2, Value::String("carol"));
+  base->Delete(2);
+  EXPECT_EQ(testing::ToMultiset(snap->Rows()).Count(base->Get(0)), 1);
+  size_t snap_rows = 0;
+  bool saw_update = false;
+  snap->Scan([&](RowId row, const Tuple& t) {
+    ++snap_rows;
+    if (row == 2) saw_update = (t.at(2) == Value::String("carol"));
+  });
+  EXPECT_EQ(snap_rows, 5u);
+  EXPECT_TRUE(saw_update);
+}
+
+TEST(DatabaseSnapshotTest, SnapshotIsolatesEveryTable) {
+  Database db;
+  Table* emp = testing::MakeEmpTable(&db);
+  Schema extra({Attribute{"X", ValueType::kInt64}});
+  Table* other = db.CreateTable("OTHER", std::move(extra));
+  other->Insert(Tuple{Value::Int(1)});
+
+  auto snap = db.Snapshot();
+  emp->UpdateField(0, 2, Value::String("zed"));
+  snap->RequireTable("OTHER")->Insert(Tuple{Value::Int(2)});
+
+  EXPECT_EQ(snap->RequireTable("EMP")->Get(0).at(2), Value::String("ann"));
+  EXPECT_EQ(other->size(), 1u);
+  EXPECT_EQ(snap->RequireTable("OTHER")->size(), 2u);
+}
+
+// Many snapshots of one base mutated from concurrent threads while the base
+// is read — the §5.4 sharing pattern. Run under -DFGPDB_SANITIZE=thread to
+// prove copy-up never races (CI's TSan leg runs exactly this test).
+TEST(ConcurrentSnapshotTest, ChainsMutatePrivatelyWhileSharingBase) {
+  Database db;
+  Schema schema(
+      {Attribute{"ID", ValueType::kInt64}, Attribute{"VAL", ValueType::kInt64}},
+      /*primary_key=*/0);
+  Table* base = db.CreateTable("T", std::move(schema));
+  const size_t kRows = 4 * Table::kPageSize + 17;  // Several pages + a stub.
+  for (size_t i = 0; i < kRows; ++i) {
+    base->Insert(Tuple{Value::Int(static_cast<int64_t>(i)), Value::Int(0)});
+  }
+
+  constexpr size_t kThreads = 4;
+  std::vector<std::unique_ptr<Database>> worlds;
+  worlds.reserve(kThreads);
+  for (size_t c = 0; c < kThreads; ++c) worlds.push_back(db.Snapshot());
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t c = 0; c < kThreads; ++c) {
+    threads.emplace_back([&, c] {
+      Table* mine = worlds[c]->RequireTable("T");
+      for (RowId row = 0; row < kRows; ++row) {
+        mine->UpdateField(row, 1, Value::Int(static_cast<int64_t>(c + 1)));
+        // Interleave reads of the shared base pages.
+        EXPECT_EQ(base->Get((row * 7) % kRows).at(1), Value::Int(0));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t c = 0; c < kThreads; ++c) {
+    const Table* mine = worlds[c]->RequireTable("T");
+    for (RowId row = 0; row < kRows; row += 97) {
+      EXPECT_EQ(mine->Get(row).at(1), Value::Int(static_cast<int64_t>(c + 1)));
+    }
+  }
+  for (RowId row = 0; row < kRows; row += 97) {
+    EXPECT_EQ(base->Get(row).at(1), Value::Int(0));
+  }
+}
+
+}  // namespace
+}  // namespace fgpdb
