@@ -2,10 +2,17 @@
 // delta costs O(|Δ|), versus O(|w|) to re-run the query — "as high as a
 // full degree of a polynomial" of savings (§4.2) — measured per operator
 // shape (σπ, γ, ⋈) and including the delta-coalescing ablation.
+//
+// PR-3 additions: a join-heavy configuration (large per-round deltas, so
+// the ΔL⋈ΔR cross term dominates) and a many-tables-few-touched
+// configuration (an 8-way join chain where each round touches one base
+// table — the case delta routing exists for).
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 #include "ra/executor.h"
+#include "ra/plan.h"
+#include "util/rng.h"
 #include "view/incremental.h"
 
 using namespace fgpdb;
@@ -35,32 +42,33 @@ void BM_FullQueryExecution(benchmark::State& state) {
   }
 }
 
-// Pre-generates a consistent sequence of delta rounds (each ~100 accepted
+// Pre-generates a consistent sequence of delta rounds (each `flips` accepted
 // label flips) so the timed loop measures only MaterializedView::Apply.
 // The sequence comes from one continuous chain, so applying the rounds in
 // order keeps the view consistent.
 std::vector<view::DeltaSet> MakeDeltaSequence(NerBench& bench, size_t rounds,
-                                              uint64_t seed) {
+                                              size_t flips, uint64_t seed) {
   std::vector<view::DeltaSet> out;
   out.reserve(rounds);
   for (size_t r = 0; r < rounds; ++r) {
-    out.push_back(MakeLabelDeltas(bench, 100, seed + r));
+    out.push_back(MakeLabelDeltas(bench, flips, seed + r));
   }
   return out;
 }
 
-// Each benchmark below is pinned to exactly kDeltaRounds iterations
-// (deltas replay consistently only once, in order, from the initial world).
+// Each benchmark below is pinned to exactly `rounds` iterations (deltas
+// replay consistently only once, in order, from the initial world).
 constexpr size_t kDeltaRounds = 1000;
 
-void ApplyDeltaBench(benchmark::State& state, const char* query) {
+void ApplyDeltaBench(benchmark::State& state, const char* query,
+                     size_t rounds, size_t flips) {
   const size_t n = static_cast<size_t>(state.range(0));
   NerBench bench(n);
   ra::PlanPtr plan = sql::PlanQuery(query, bench.tokens.pdb->db());
   view::MaterializedView view(*plan);
   view.Initialize(bench.tokens.pdb->db());
   // A few spare rounds in case the framework runs warm-up iterations.
-  const auto deltas = MakeDeltaSequence(bench, kDeltaRounds + 64, 1);
+  const auto deltas = MakeDeltaSequence(bench, rounds + 64, flips, 1);
   size_t i = 0;
   for (auto _ : state) {
     FGPDB_CHECK_LT(i, deltas.size());
@@ -69,17 +77,197 @@ void ApplyDeltaBench(benchmark::State& state, const char* query) {
 }
 
 void BM_ViewApplyDelta(benchmark::State& state) {
-  ApplyDeltaBench(state, ie::kQuery1);
+  ApplyDeltaBench(state, ie::kQuery1, kDeltaRounds, 100);
 }
 
 void BM_ViewApplyDeltaJoin(benchmark::State& state) {
   // Query 4's self-join, maintained through deltas.
-  ApplyDeltaBench(state, ie::kQuery4);
+  ApplyDeltaBench(state, ie::kQuery4, kDeltaRounds, 100);
 }
 
 void BM_ViewApplyDeltaAggregate(benchmark::State& state) {
   // Query 3's grouped COUNT_IF + HAVING, maintained through deltas.
-  ApplyDeltaBench(state, ie::kQuery3);
+  ApplyDeltaBench(state, ie::kQuery3, kDeltaRounds, 100);
+}
+
+// Join-heavy configuration: long thinning intervals produce ~2000-entry
+// deltas on both inputs of Query 4's self-join, so the ΔL⋈ΔR cross term
+// dominates. A nested-loop cross term is O(|ΔL|·|ΔR|) tuple projections per
+// round; hash-grouped probing is O(|Δ|·matches).
+constexpr size_t kJoinHeavyRounds = 200;
+
+void BM_ViewApplyDeltaJoinHeavy(benchmark::State& state) {
+  ApplyDeltaBench(state, ie::kQuery4, kJoinHeavyRounds,
+                  static_cast<size_t>(state.range(1)));
+}
+
+// --- Join cross term: ΔL⋈ΔR with unfiltered deltas -------------------------
+//
+// Query 4's selections shrink the deltas before they reach the join, so the
+// cross term stays tiny there. This configuration feeds both join inputs
+// raw deltas: per round, `flips` value updates on EACH side of L ⋈ R. A
+// nested-loop cross term pays |ΔL|·|ΔR| tuple projections per round;
+// hash-grouped probing pays O(|Δ|·matches).
+constexpr size_t kCrossRows = 4096;
+constexpr size_t kCrossKeys = 1024;  // 4 rows per join key.
+constexpr size_t kCrossRounds = 200;
+
+void BuildCrossTable(Database* db, const std::string& name, int64_t v_base) {
+  Schema schema({Attribute{"K", ValueType::kInt64},
+                 Attribute{"V", ValueType::kInt64}});
+  Table* table = db->CreateTable(name, std::move(schema));
+  for (size_t r = 0; r < kCrossRows; ++r) {
+    table->Insert(Tuple{Value::Int(static_cast<int64_t>(r % kCrossKeys)),
+                        Value::Int(v_base + static_cast<int64_t>(r))});
+  }
+}
+
+std::vector<view::DeltaSet> MakeCrossDeltas(size_t rounds, size_t flips,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int64_t>> shadow(2,
+                                           std::vector<int64_t>(kCrossRows));
+  for (size_t side = 0; side < 2; ++side) {
+    for (size_t r = 0; r < kCrossRows; ++r) {
+      shadow[side][r] = static_cast<int64_t>(side) * 1000000 +
+                        static_cast<int64_t>(r);
+    }
+  }
+  std::vector<view::DeltaSet> out;
+  out.reserve(rounds);
+  for (size_t round = 0; round < rounds; ++round) {
+    view::DeltaSet deltas;
+    for (size_t side = 0; side < 2; ++side) {
+      view::DeltaMultiset& d = deltas.ForTable(side == 0 ? "L" : "R");
+      for (size_t f = 0; f < flips; ++f) {
+        const size_t r = rng.UniformInt(kCrossRows);
+        const int64_t k = static_cast<int64_t>(r % kCrossKeys);
+        d.Add(Tuple{Value::Int(k), Value::Int(shadow[side][r])}, -1);
+        ++shadow[side][r];
+        d.Add(Tuple{Value::Int(k), Value::Int(shadow[side][r])}, 1);
+      }
+    }
+    out.push_back(std::move(deltas));
+  }
+  return out;
+}
+
+void BM_ViewApplyDeltaJoinCross(benchmark::State& state) {
+  const size_t flips = static_cast<size_t>(state.range(0));
+  Database db;
+  BuildCrossTable(&db, "L", 0);
+  BuildCrossTable(&db, "R", 1000000);
+  ra::PlanPtr plan = std::make_unique<ra::JoinNode>(
+      std::make_unique<ra::ScanNode>("L", db.RequireTable("L")->schema()),
+      std::make_unique<ra::ScanNode>("R", db.RequireTable("R")->schema()),
+      std::vector<size_t>{0}, std::vector<size_t>{0}, nullptr);
+  view::MaterializedView view(*plan);
+  view.Initialize(db);
+  const auto deltas = MakeCrossDeltas(kCrossRounds + 64, flips, 11);
+  size_t i = 0;
+  for (auto _ : state) {
+    FGPDB_CHECK_LT(i, deltas.size());
+    benchmark::DoNotOptimize(view.Apply(deltas[i++]));
+  }
+}
+
+// --- Many-tables-few-touched: the routing win case -------------------------
+//
+// An 8-way join chain R0 ⋈ R1 ⋈ … ⋈ R7 on a shared key, with each delta
+// round touching only `touched` of the 8 base tables. A router that knows
+// which subtrees read which tables skips the untouched ones outright; an
+// unrouted pipeline walks all 15 operators to discover their deltas are
+// empty.
+constexpr size_t kManyTables = 8;
+constexpr size_t kManyTableRows = 512;
+constexpr size_t kManyTableRounds = 1000;
+
+std::string ManyTableName(size_t i) { return "R" + std::to_string(i); }
+
+void BuildManyTableDb(Database* db) {
+  for (size_t t = 0; t < kManyTables; ++t) {
+    Schema schema({Attribute{"K", ValueType::kInt64},
+                   Attribute{"V", ValueType::kInt64}});
+    Table* table = db->CreateTable(ManyTableName(t), std::move(schema));
+    for (size_t k = 0; k < kManyTableRows; ++k) {
+      table->Insert(Tuple{Value::Int(static_cast<int64_t>(k)),
+                          Value::Int(static_cast<int64_t>(t * 1000 + k))});
+    }
+  }
+}
+
+// ((R0 ⋈ R1) ⋈ R2) ⋈ … on K. The accumulated left side keeps K at column 0.
+ra::PlanPtr BuildManyTableJoinPlan(const Database& db) {
+  ra::PlanPtr plan = std::make_unique<ra::ScanNode>(
+      ManyTableName(0), db.RequireTable(ManyTableName(0))->schema());
+  for (size_t t = 1; t < kManyTables; ++t) {
+    ra::PlanPtr right = std::make_unique<ra::ScanNode>(
+        ManyTableName(t), db.RequireTable(ManyTableName(t))->schema());
+    plan = std::make_unique<ra::JoinNode>(
+        std::move(plan), std::move(right), std::vector<size_t>{0},
+        std::vector<size_t>{0}, nullptr);
+  }
+  return plan;
+}
+
+// Synthesizes `rounds` delta rounds, each flipping V on `flips` rows of the
+// first `touched` tables. Views never re-read tables after Initialize, so a
+// shadow copy of the V column keeps the stream consistent without mutating
+// the database.
+std::vector<view::DeltaSet> MakeManyTableDeltas(size_t rounds, size_t touched,
+                                                size_t flips, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int64_t>> shadow(
+      kManyTables, std::vector<int64_t>(kManyTableRows));
+  for (size_t t = 0; t < kManyTables; ++t) {
+    for (size_t k = 0; k < kManyTableRows; ++k) {
+      shadow[t][k] = static_cast<int64_t>(t * 1000 + k);
+    }
+  }
+  std::vector<view::DeltaSet> out;
+  out.reserve(rounds);
+  for (size_t r = 0; r < rounds; ++r) {
+    view::DeltaSet deltas;
+    for (size_t t = 0; t < touched; ++t) {
+      view::DeltaMultiset& d = deltas.ForTable(ManyTableName(t));
+      for (size_t f = 0; f < flips; ++f) {
+        const size_t k = rng.UniformInt(kManyTableRows);
+        const int64_t next = shadow[t][k] + 1;
+        d.Add(Tuple{Value::Int(static_cast<int64_t>(k)),
+                    Value::Int(shadow[t][k])},
+              -1);
+        d.Add(Tuple{Value::Int(static_cast<int64_t>(k)), Value::Int(next)}, 1);
+        shadow[t][k] = next;
+      }
+    }
+    out.push_back(std::move(deltas));
+  }
+  return out;
+}
+
+void BM_ViewApplyDeltaManyTables(benchmark::State& state) {
+  const size_t touched = static_cast<size_t>(state.range(0));
+  Database db;
+  BuildManyTableDb(&db);
+  ra::PlanPtr plan = BuildManyTableJoinPlan(db);
+  view::MaterializedView view(*plan);
+  view.Initialize(db);
+  const auto deltas =
+      MakeManyTableDeltas(kManyTableRounds + 64, touched, /*flips=*/4, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    FGPDB_CHECK_LT(i, deltas.size());
+    benchmark::DoNotOptimize(view.Apply(deltas[i++]));
+  }
+#ifdef FGPDB_VIEW_ROUTED_PIPELINE
+  const view::ApplyStats& stats = view.stats();
+  state.counters["ops_visited_per_round"] =
+      static_cast<double>(stats.operators_visited) /
+      static_cast<double>(stats.rounds);
+  state.counters["ops_skipped_per_round"] =
+      static_cast<double>(stats.operators_skipped) /
+      static_cast<double>(stats.rounds);
+#endif
 }
 
 void BM_DeltaCoalescing(benchmark::State& state) {
@@ -101,6 +289,29 @@ void BM_DeltaCoalescing(benchmark::State& state) {
   }
 }
 
+#ifdef FGPDB_VIEW_ROUTED_PIPELINE
+void BM_AccumulatorCoalescing(benchmark::State& state) {
+  // Row-granular accumulation: a flip records one pre-image copy the first
+  // time its row is touched; Flush emits at most one −/+ pair per changed
+  // row. Compare with BM_DeltaCoalescing's tuple-multiset path.
+  const size_t flips = static_cast<size_t>(state.range(0));
+  NerBench bench(10000);
+  for (auto _ : state) {
+    view::DeltaAccumulator acc;
+    view::DeltaSet deltas;
+    uint32_t current = ie::kLabelO;
+    for (size_t i = 0; i < flips; ++i) {
+      const uint32_t next = (current + 1) % ie::kNumLabels;
+      bench.tokens.pdb->binding().ApplyToDatabase(
+          {{0, current, next}}, &bench.tokens.pdb->db(), &acc);
+      current = next;
+    }
+    acc.Flush(bench.tokens.pdb->db(), &deltas);
+    benchmark::DoNotOptimize(deltas.Get(ie::kTokenTable).distinct_size());
+  }
+}
+#endif
+
 }  // namespace
 
 BENCHMARK(BM_FullQueryExecution)->Arg(10000)->Arg(100000)
@@ -111,7 +322,17 @@ BENCHMARK(BM_ViewApplyDeltaJoin)->Arg(10000)->Arg(50000)
     ->Iterations(kDeltaRounds)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ViewApplyDeltaAggregate)->Arg(10000)->Arg(50000)
     ->Iterations(kDeltaRounds)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ViewApplyDeltaJoinHeavy)->Args({20000, 500})->Args({20000, 2000})
+    ->Iterations(kJoinHeavyRounds)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ViewApplyDeltaJoinCross)->Arg(64)->Arg(256)
+    ->Iterations(kCrossRounds)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ViewApplyDeltaManyTables)->Arg(1)->Arg(8)
+    ->Iterations(kManyTableRounds)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_DeltaCoalescing)->Arg(10)->Arg(1000)
     ->Unit(benchmark::kMicrosecond);
+#ifdef FGPDB_VIEW_ROUTED_PIPELINE
+BENCHMARK(BM_AccumulatorCoalescing)->Arg(10)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+#endif
 
 BENCHMARK_MAIN();

@@ -56,6 +56,19 @@ void TupleBinding::ApplyToDatabase(
   }
 }
 
+void TupleBinding::ApplyToDatabase(
+    const std::vector<factor::AppliedAssignment>& applied, Database* db,
+    view::DeltaAccumulator* accumulator) const {
+  for (const auto& a : applied) {
+    const FieldRef& ref = fields_->at(a.var);
+    Table* table = db->RequireTable(ref.table);
+    if (accumulator != nullptr) {
+      accumulator->RecordPreImage(ref.table, ref.row, table->Get(ref.row));
+    }
+    table->UpdateField(ref.row, ref.column, ref.domain->value(a.new_value));
+  }
+}
+
 std::vector<size_t> TupleBinding::DomainSizes() const {
   std::vector<size_t> sizes;
   sizes.reserve(fields_->size());

@@ -61,6 +61,14 @@ class TupleBinding {
   void ApplyToDatabase(const std::vector<factor::AppliedAssignment>& applied,
                        Database* db, view::DeltaSet* deltas) const;
 
+  /// Hot-path variant: mirrors assignments and records only each touched
+  /// row's pre-image in `accumulator` (first touch copies the tuple; repeat
+  /// flips are one hash probe). The −/+ multisets are produced later by
+  /// DeltaAccumulator::Flush, so oscillation coalesces at insert time.
+  void ApplyToDatabase(const std::vector<factor::AppliedAssignment>& applied,
+                       Database* db,
+                       view::DeltaAccumulator* accumulator) const;
+
   /// Domain sizes per variable (for samplers/estimators).
   std::vector<size_t> DomainSizes() const;
 

@@ -15,6 +15,12 @@ namespace {
 // base world, a fresh proposal, and an evaluator. All chain state lives and
 // dies inside this call, so a pool running T worker threads holds at most T
 // worlds at a time no matter how many chains are requested.
+//
+// Materialized chains each compile their own view, which matters for the
+// routed delta pipeline: the subscription map, routing masks, reusable
+// operator buffers, and the TupleArena are per-view state owned by exactly
+// one chain — nothing in the delta path is shared across threads, so chains
+// apply deltas without synchronization.
 QueryAnswer RunChain(const ProbabilisticDatabase& pdb, const ra::PlanNode& plan,
                      const ProposalFactory& make_proposal,
                      const ParallelOptions& options, size_t chain_index) {

@@ -49,20 +49,34 @@ class ProbabilisticDatabase {
   void SyncWorldFromDatabase() { world_ = binding_.LoadWorld(*db_); }
 
   /// Creates an MH sampler over this database's world: accepted changes are
-  /// mirrored into the tables and accumulated into the delta buffer.
+  /// mirrored into the tables and coalesced into the row-granular delta
+  /// accumulator (one pre-image per touched row, however often it flips).
   std::unique_ptr<infer::MetropolisHastings> MakeSampler(
       infer::Proposal* proposal, uint64_t seed);
 
-  /// Deltas accumulated since the last TakeDeltas (the paper's auxiliary
-  /// tables, consumed and cleared at each query evaluation).
+  /// Drains the deltas accumulated since the last TakeDeltas (the paper's
+  /// auxiliary tables, consumed at each query evaluation) into `out` as
+  /// per-base-table Δ−/Δ+ multisets. `out` is cleared first; its table
+  /// buckets are reused, so a caller passing the same DeltaSet every
+  /// interval recycles all hash storage. Oscillating rows coalesce to at
+  /// most one −/+ pair; reverted rows vanish.
+  void TakeDeltas(view::DeltaSet* out) {
+    out->Clear();
+    pending_rows_.Flush(*db_, out);
+  }
+
+  /// Convenience overload returning a fresh DeltaSet.
   view::DeltaSet TakeDeltas() {
-    view::DeltaSet out = std::move(pending_deltas_);
-    pending_deltas_.Clear();
+    view::DeltaSet out;
+    pending_rows_.Flush(*db_, &out);
     return out;
   }
 
   /// Discards pending deltas (e.g. after a full re-evaluation).
-  void DiscardDeltas() { pending_deltas_.Clear(); }
+  void DiscardDeltas() { pending_rows_.Clear(); }
+
+  /// Distinct rows touched since the last TakeDeltas (diagnostics).
+  size_t pending_rows_touched() const { return pending_rows_.rows_touched(); }
 
   /// Copy-on-write copy of the database, world, and binding for an
   /// independent chain (paper §5.4): table pages, indexes, and the field
@@ -82,7 +96,7 @@ class ProbabilisticDatabase {
   TupleBinding binding_;
   factor::World world_;
   const factor::Model* model_ = nullptr;
-  view::DeltaSet pending_deltas_;
+  view::DeltaAccumulator pending_rows_;
 };
 
 }  // namespace pdb

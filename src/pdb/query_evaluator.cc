@@ -145,23 +145,27 @@ void MaterializedQueryEvaluator::DrawSample() {
   sampler_->Run(steps_per_sample_);
   const double walk_seconds = walk_timer.ElapsedSeconds();
   // Fold Δ−/Δ+ through the view instead of re-running the query
-  // (Alg. 1 line 5: s ← s − Q'(w,Δ−) ∪ Q'(w,Δ+)).
-  Stopwatch eval_timer;
-  view_.Apply(pdb_->TakeDeltas());
+  // (Alg. 1 line 5: s ← s − Q'(w,Δ−) ∪ Q'(w,Δ+)). TakeDeltas drains the
+  // row-granular accumulator into the reused buffer; Apply routes each
+  // table's delta only to the subscribed subtrees.
+  Stopwatch apply_timer;
+  pdb_->TakeDeltas(&delta_buf_);
+  view_.Apply(delta_buf_);
+  last_apply_seconds_ = apply_timer.ElapsedSeconds();
   std::vector<Tuple> distinct;
   distinct.reserve(view_.contents().distinct_size());
   view_.contents().ForEach(
       [&](const Tuple& t, int64_t) { distinct.push_back(t); });
   answer_.ObserveSampleContaining(distinct);
-  const double eval_seconds = eval_timer.ElapsedSeconds();
 
   if (options_.adaptive_thinning) {
-    // Steer the per-sample evaluation share toward the target: halve k when
-    // evaluation is cheap relative to walking, double it when expensive.
-    // Multiplicative updates keep the controller stable under noisy timers.
-    const double total = walk_seconds + eval_seconds;
+    // Steer the per-sample share of the routed delta path toward the
+    // target: halve k when applying deltas is cheap relative to walking,
+    // double it when expensive. Multiplicative updates keep the controller
+    // stable under noisy timers.
+    const double total = walk_seconds + last_apply_seconds_;
     if (total > 0.0) {
-      const double fraction = eval_seconds / total;
+      const double fraction = last_apply_seconds_ / total;
       if (fraction < options_.target_eval_fraction / 2.0) {
         steps_per_sample_ = std::max(options_.min_steps_per_sample,
                                      steps_per_sample_ / 2);

@@ -71,11 +71,15 @@ struct EvaluatorOptions {
 
   /// §4.1's adaptive-k optimization: "Adaptively adjusting k to respond to
   /// these various issues". When enabled, the materialized evaluator
-  /// adjusts k after each sample so that query re-evaluation consumes
-  /// roughly `target_eval_fraction` of per-sample wall-clock: if the query
-  /// update is cheap relative to walking, k shrinks (collect counts more
+  /// adjusts k after each sample so that the measured routed-apply cost
+  /// (draining the delta accumulator + routing it through the view) stays
+  /// near `target_eval_fraction` of per-sample wall-clock: if the delta
+  /// path is cheap relative to walking, k shrinks (collect counts more
   /// often — the ergodic theorems say every sample helps); if it is
   /// expensive, k grows (walk further between costly evaluations).
+  /// Answer-set bookkeeping is deliberately excluded from the measured
+  /// cost: it scales with the answer size, not with k, so including it
+  /// would bias the controller toward over-thinning small-delta rounds.
   bool adaptive_thinning = false;
   double target_eval_fraction = 0.25;
   uint64_t min_steps_per_sample = 16;
@@ -147,12 +151,20 @@ class MaterializedQueryEvaluator final : public QueryEvaluator {
   /// Current thinning interval (changes over time under adaptive mode).
   uint64_t steps_per_sample() const { return steps_per_sample_; }
 
+  /// Wall-clock seconds the last DrawSample spent on the routed delta path
+  /// (TakeDeltas + MaterializedView::Apply) — the cost adaptive thinning
+  /// steers by.
+  double last_apply_seconds() const { return last_apply_seconds_; }
+
  private:
   ProbabilisticDatabase* pdb_;
   EvaluatorOptions options_;
   view::MaterializedView view_;
   std::unique_ptr<infer::MetropolisHastings> sampler_;
   uint64_t steps_per_sample_ = 0;
+  // Reused every interval: TakeDeltas recycles its table buckets.
+  view::DeltaSet delta_buf_;
+  double last_apply_seconds_ = 0.0;
 };
 
 }  // namespace pdb

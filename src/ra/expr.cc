@@ -24,7 +24,8 @@ const char* CompareOpName(CompareOp op) {
 }
 
 bool Expr::EvalBool(const Tuple& tuple) const {
-  const Value v = Eval(tuple);
+  Value scratch;
+  const Value& v = *EvalInto(tuple, &scratch);
   switch (v.type()) {
     case ValueType::kNull:
       return false;
@@ -39,8 +40,11 @@ bool Expr::EvalBool(const Tuple& tuple) const {
 }
 
 Value Comparison::Eval(const Tuple& tuple) const {
-  const Value a = lhs_->Eval(tuple);
-  const Value b = rhs_->Eval(tuple);
+  // EvalInto keeps column/constant operands by reference — no Value
+  // (string) copies on the per-delta-tuple filtering path.
+  Value lhs_scratch, rhs_scratch;
+  const Value& a = *lhs_->EvalInto(tuple, &lhs_scratch);
+  const Value& b = *rhs_->EvalInto(tuple, &rhs_scratch);
   // SQL three-valued logic collapsed to false on NULL operands.
   if (a.is_null() || b.is_null()) return Value::Int(0);
   const int c = a.Compare(b);
@@ -98,8 +102,9 @@ std::string Logical::ToString() const {
 }
 
 Value Arithmetic::Eval(const Tuple& tuple) const {
-  const Value a = lhs_->Eval(tuple);
-  const Value b = rhs_->Eval(tuple);
+  Value lhs_scratch, rhs_scratch;
+  const Value& a = *lhs_->EvalInto(tuple, &lhs_scratch);
+  const Value& b = *rhs_->EvalInto(tuple, &rhs_scratch);
   if (a.is_null() || b.is_null()) return Value::Null();
   // Integer arithmetic when both sides are integers (except division).
   if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64 &&
@@ -150,7 +155,8 @@ std::string Arithmetic::ToString() const {
 }
 
 Value Like::Eval(const Tuple& tuple) const {
-  const Value v = operand_->Eval(tuple);
+  Value scratch;
+  const Value& v = *operand_->EvalInto(tuple, &scratch);
   if (v.type() != ValueType::kString) return Value::Int(0);
   return Value::Int(Matches(v.AsString(), pattern_) ? 1 : 0);
 }

@@ -28,6 +28,17 @@ class Expr {
   /// Evaluates the expression against one input tuple.
   virtual Value Eval(const Tuple& tuple) const = 0;
 
+  /// Copy-avoiding evaluation for hot loops (predicate filtering over
+  /// deltas, comparison operands): returns a pointer to an already-
+  /// materialized Value when the expression is a direct reference (column,
+  /// constant) and only falls back to evaluating into *scratch otherwise.
+  /// The pointer is valid while `tuple`, this expression, and *scratch
+  /// are alive and unchanged.
+  virtual const Value* EvalInto(const Tuple& tuple, Value* scratch) const {
+    *scratch = Eval(tuple);
+    return scratch;
+  }
+
   /// SQL-ish rendering for diagnostics.
   virtual std::string ToString() const = 0;
 
@@ -46,6 +57,9 @@ class ColumnRef final : public Expr {
       : index_(index), name_(std::move(name)) {}
 
   Value Eval(const Tuple& tuple) const override { return tuple.at(index_); }
+  const Value* EvalInto(const Tuple& tuple, Value*) const override {
+    return &tuple.at(index_);
+  }
   std::string ToString() const override { return name_; }
   ExprPtr Clone() const override {
     return std::make_unique<ColumnRef>(index_, name_);
@@ -64,6 +78,9 @@ class Constant final : public Expr {
   explicit Constant(Value value) : value_(std::move(value)) {}
 
   Value Eval(const Tuple&) const override { return value_; }
+  const Value* EvalInto(const Tuple&, Value*) const override {
+    return &value_;
+  }
   std::string ToString() const override { return value_.ToString(); }
   ExprPtr Clone() const override { return std::make_unique<Constant>(value_); }
 

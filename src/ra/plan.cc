@@ -46,6 +46,19 @@ Schema ConcatSchemas(const Schema& a, const Schema& b) {
 
 }  // namespace
 
+void PlanNode::CollectScannedTables(std::vector<std::string>* out) const {
+  if (kind_ == PlanKind::kScan) {
+    out->push_back(static_cast<const ScanNode&>(*this).table_name());
+  }
+  for (const auto& child : children_) child->CollectScannedTables(out);
+}
+
+std::vector<std::string> PlanNode::ScannedTables() const {
+  std::vector<std::string> out;
+  CollectScannedTables(&out);
+  return out;
+}
+
 std::string PlanNode::ToString(int indent) const {
   std::string out(static_cast<size_t>(indent) * 2, ' ');
   out += Describe();

@@ -42,6 +42,13 @@ class PlanNode {
   /// Indented plan rendering for EXPLAIN-style output.
   std::string ToString(int indent = 0) const;
 
+  /// Appends the name of every base table scanned in this subtree, in
+  /// pre-order and with duplicates (a self-join lists its table twice).
+  /// This is the scanned-table metadata the incremental engine builds its
+  /// delta-routing subscription maps from (src/view/incremental.h).
+  void CollectScannedTables(std::vector<std::string>* out) const;
+  std::vector<std::string> ScannedTables() const;
+
  protected:
   /// Derived constructors must call set_output_schema() in their body (after
   /// children are stored) — computing the schema from a child in the

@@ -19,6 +19,12 @@ Tuple Tuple::Project(const std::vector<size_t>& columns) const {
   return Tuple(std::move(values));
 }
 
+void Tuple::ProjectInto(const std::vector<size_t>& columns, Tuple* out) const {
+  out->values_.clear();
+  out->values_.reserve(columns.size());
+  for (size_t c : columns) out->values_.push_back(at(c));
+}
+
 std::string Tuple::ToString() const {
   std::vector<std::string> parts;
   parts.reserve(values_.size());

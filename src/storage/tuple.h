@@ -30,6 +30,11 @@ class Tuple {
   /// Projection onto the given column indexes.
   Tuple Project(const std::vector<size_t>& columns) const;
 
+  /// Allocation-reusing projection for hot loops (view-maintenance key
+  /// extraction): overwrites `out` with the projected values, keeping its
+  /// vector capacity across calls.
+  void ProjectInto(const std::vector<size_t>& columns, Tuple* out) const;
+
   /// "(v1, v2, ...)" rendering.
   std::string ToString() const;
 

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/logging.h"
+
 namespace fgpdb {
 namespace view {
 
-const DeltaMultiset DeltaSet::kEmpty;
+const DeltaMultiset& DeltaMultiset::Empty() {
+  static const DeltaMultiset kEmpty;
+  return kEmpty;
+}
 
 void DeltaMultiset::Spill() {
   // Reserve past the current size: a delta that outgrew the inline buffer
@@ -137,7 +142,7 @@ std::string DeltaMultiset::ToString() const {
 
 const DeltaMultiset& DeltaSet::Get(const std::string& table) const {
   const auto it = per_table_.find(table);
-  return it == per_table_.end() ? kEmpty : it->second;
+  return it == per_table_.end() ? DeltaMultiset::Empty() : it->second;
 }
 
 bool DeltaSet::empty() const {
@@ -155,6 +160,59 @@ int64_t DeltaSet::TotalMagnitude() const {
     total += delta.PositiveTotal() + delta.NegativeTotal();
   }
   return total;
+}
+
+void DeltaSet::ForEachTable(
+    const std::function<void(const std::string&, const DeltaMultiset&)>& fn)
+    const {
+  for (const auto& [table, delta] : per_table_) fn(table, delta);
+}
+
+void DeltaAccumulator::RecordPreImage(const std::string& table, RowId row,
+                                      const Tuple& pre_image) {
+  // try_emplace copies the tuple only when the row is seen for the first
+  // time this interval; repeat flips of a hot row are one map probe.
+  per_table_[table].try_emplace(row, pre_image);
+}
+
+void DeltaAccumulator::Flush(const Database& db, DeltaSet* out) {
+  FGPDB_CHECK(out != nullptr);
+  for (auto& [table_name, rows] : per_table_) {
+    if (rows.empty()) continue;
+    const Table* table = db.RequireTable(table_name);
+    DeltaMultiset& delta = out->ForTable(table_name);
+    for (const auto& [row, pre_image] : rows) {
+      const Tuple& current = table->Get(row);
+      if (current == pre_image) continue;  // Reverted: nothing net changed.
+      delta.Add(pre_image, -1);  // Δ−
+      delta.Add(current, 1);     // Δ+
+    }
+    rows.clear();
+  }
+}
+
+bool DeltaAccumulator::empty() const {
+  for (const auto& [table, rows] : per_table_) {
+    (void)table;
+    if (!rows.empty()) return false;
+  }
+  return true;
+}
+
+size_t DeltaAccumulator::rows_touched() const {
+  size_t total = 0;
+  for (const auto& [table, rows] : per_table_) {
+    (void)table;
+    total += rows.size();
+  }
+  return total;
+}
+
+void DeltaAccumulator::Clear() {
+  for (auto& [table, rows] : per_table_) {
+    (void)table;
+    rows.clear();
+  }
 }
 
 }  // namespace view

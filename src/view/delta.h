@@ -13,6 +13,10 @@
 // linearly (no per-entry node allocations, no hashing). Only when a delta
 // outgrows the inline capacity does it spill into an unordered_map, which
 // is pre-reserved so growth does not rehash entry by entry.
+//
+// DeltaAccumulator is the producer-side companion: it coalesces in-place
+// row updates at insert time (row-granular pre-images) and only expands
+// into per-table −/+ multisets when the consumer drains it.
 #ifndef FGPDB_VIEW_DELTA_H_
 #define FGPDB_VIEW_DELTA_H_
 
@@ -23,7 +27,14 @@
 #include <utility>
 #include <vector>
 
+#include "storage/database.h"
 #include "storage/tuple.h"
+
+// Feature-test macro for the PR-3 routed delta pipeline (subscription-based
+// routing, row-granular accumulation, reusable operator buffers). Lets the
+// benches report routing statistics while staying compilable against the
+// pre-refactor API for before/after measurements.
+#define FGPDB_VIEW_ROUTED_PIPELINE 1
 
 namespace fgpdb {
 namespace view {
@@ -64,11 +75,18 @@ class DeltaMultiset {
   /// True if every count is >= 1 (a plain bag, e.g. a view's contents).
   bool IsNonNegative() const;
 
+  /// Empties the multiset. Spilled bucket storage is kept so a multiset
+  /// reused round after round (operator output buffers, drained DeltaSets)
+  /// does not re-grow its hash table from scratch.
   void Clear() {
     inline_entries_.clear();
     counts_.clear();
     spilled_ = false;
   }
+
+  /// The shared empty multiset (what skipped operators and absent tables
+  /// hand out without allocating).
+  static const DeltaMultiset& Empty();
 
   bool operator==(const DeltaMultiset& other) const;
 
@@ -104,11 +122,66 @@ class DeltaSet {
   /// Total tuple instances touched across tables (|Δ−| + |Δ+|).
   int64_t TotalMagnitude() const;
 
-  void Clear() { per_table_.clear(); }
+  /// Applies fn(table, delta) to every recorded table, including tables
+  /// whose delta is currently empty.
+  void ForEachTable(
+      const std::function<void(const std::string&, const DeltaMultiset&)>& fn)
+      const;
+
+  /// Empties every per-table delta. Table buckets (and their spilled hash
+  /// storage) are retained, so a DeltaSet drained once per thinning
+  /// interval reuses its allocations instead of rebuilding them.
+  void Clear() {
+    for (auto& [table, delta] : per_table_) {
+      (void)table;
+      delta.Clear();
+    }
+  }
 
  private:
   std::unordered_map<std::string, DeltaMultiset> per_table_;
-  static const DeltaMultiset kEmpty;
+};
+
+/// Insert-time coalescing accumulator for in-place row updates — the hot
+/// producer feeding the materialized evaluator (paper §4.2's auxiliary
+/// tables, bucketed per base table).
+///
+/// The MCMC driver overwrites one field of one live row per accepted jump,
+/// and rows oscillate: over a thinning interval of k steps a row may flip
+/// many times, or flip and revert. Recording −old/+new tuple pairs per flip
+/// costs two tuple hashes per step and leaves the cancellation work to the
+/// multiset. This accumulator instead records one *pre-image* per touched
+/// row — the first call per (table, row) copies the tuple, later calls are
+/// a single hash-map probe — and expands to −pre-image/+current pairs only
+/// at Flush(), reading the current tuple from the table. A row flipped R
+/// times costs O(1) amortized per flip and contributes at most one −/+
+/// pair; a reverted row contributes nothing.
+///
+/// Constraint: rows recorded here must still be live at Flush() time (the
+/// binding path only updates in place, never deletes).
+class DeltaAccumulator {
+ public:
+  /// Records that `row` of `table` is about to be overwritten; `pre_image`
+  /// is its current (pre-update) contents. Only the first call per row
+  /// copies the tuple.
+  void RecordPreImage(const std::string& table, RowId row,
+                      const Tuple& pre_image);
+
+  /// Expands the recorded rows against their current table contents in
+  /// `db`, adding −pre-image/+current to `out` for every row whose tuple
+  /// actually changed. Clears the accumulator (retaining bucket storage).
+  void Flush(const Database& db, DeltaSet* out);
+
+  bool empty() const;
+
+  /// Distinct rows currently tracked (diagnostics / adaptive thinning).
+  size_t rows_touched() const;
+
+  void Clear();
+
+ private:
+  using RowMap = std::unordered_map<RowId, Tuple>;
+  std::unordered_map<std::string, RowMap> per_table_;
 };
 
 }  // namespace view

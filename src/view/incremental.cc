@@ -2,21 +2,60 @@
 
 #include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace fgpdb {
 namespace view {
+
+uint64_t ViewRuntime::RegisterTable(const std::string& table) {
+  const auto it = table_masks.find(table);
+  if (it != table_masks.end()) return it->second;
+  // Tables beyond 63 share the top bit: routing over-approximates ("maybe
+  // touched") instead of widening the mask — never misses a delta.
+  const size_t id = table_masks.size();
+  const uint64_t mask = uint64_t{1} << (id < 64 ? id : 63);
+  table_masks.emplace(table, mask);
+  return mask;
+}
+
+uint64_t ViewRuntime::SubscribeScan(const std::string& table) {
+  const uint64_t mask = RegisterTable(table);
+  ++subscriptions[table];
+  return mask;
+}
+
+uint64_t ViewRuntime::MaskOf(const std::string& table) const {
+  const auto it = table_masks.find(table);
+  return it == table_masks.end() ? 0 : it->second;
+}
+
+const DeltaMultiset* IncrementalOperator::ApplyDelta(const DeltaSet& deltas) {
+  if ((reads_mask_ & runtime_->touched_mask) == 0) {
+    // No table this subtree reads was touched this round: its input delta
+    // is empty, so its output delta is empty and its state cannot change.
+    runtime_->stats.operators_skipped += subtree_size_;
+    return &DeltaMultiset::Empty();
+  }
+  ++runtime_->stats.operators_visited;
+  return ApplyDeltaImpl(deltas);
+}
+
 namespace {
 
 using ra::AggregateSpec;
 
 // ---------------------------------------------------------------------------
-// Scan: deltas for the base table pass straight through.
+// Scan: deltas for the base table pass straight through — by pointer, not by
+// copy: the parent reads the DeltaSet's own multiset.
 // ---------------------------------------------------------------------------
 class IncScan final : public IncrementalOperator {
  public:
-  explicit IncScan(std::string table) : table_(std::move(table)) {}
+  IncScan(ViewRuntime* runtime, std::string table)
+      : IncrementalOperator(runtime), table_(std::move(table)) {
+    reads_mask_ = runtime_->SubscribeScan(table_);
+  }
 
   DeltaMultiset Initialize(const Database& db) override {
     DeltaMultiset out;
@@ -25,8 +64,9 @@ class IncScan final : public IncrementalOperator {
     return out;
   }
 
-  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
-    return deltas.Get(table_);
+ protected:
+  const DeltaMultiset* ApplyDeltaImpl(const DeltaSet& deltas) override {
+    return &deltas.Get(table_);
   }
 
  private:
@@ -38,28 +78,38 @@ class IncScan final : public IncrementalOperator {
 // ---------------------------------------------------------------------------
 class IncSelect final : public IncrementalOperator {
  public:
-  IncSelect(IncrementalOperatorPtr child, ra::ExprPtr predicate)
-      : child_(std::move(child)), predicate_(std::move(predicate)) {}
-
-  DeltaMultiset Initialize(const Database& db) override {
-    return Filter(child_->Initialize(db));
+  IncSelect(ViewRuntime* runtime, IncrementalOperatorPtr child,
+            ra::ExprPtr predicate)
+      : IncrementalOperator(runtime),
+        child_(std::move(child)),
+        predicate_(std::move(predicate)) {
+    AbsorbChild(*child_);
   }
 
-  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
-    return Filter(child_->ApplyDelta(deltas));
+  DeltaMultiset Initialize(const Database& db) override {
+    DeltaMultiset out;
+    Filter(child_->Initialize(db), &out);
+    return out;
+  }
+
+ protected:
+  const DeltaMultiset* ApplyDeltaImpl(const DeltaSet& deltas) override {
+    const DeltaMultiset* in = child_->ApplyDelta(deltas);
+    out_.Clear();
+    Filter(*in, &out_);
+    return &out_;
   }
 
  private:
-  DeltaMultiset Filter(const DeltaMultiset& in) const {
-    DeltaMultiset out;
+  void Filter(const DeltaMultiset& in, DeltaMultiset* out) const {
     in.ForEach([&](const Tuple& t, int64_t c) {
-      if (predicate_->EvalBool(t)) out.Add(t, c);
+      if (predicate_->EvalBool(t)) out->Add(t, c);
     });
-    return out;
   }
 
   IncrementalOperatorPtr child_;
   ra::ExprPtr predicate_;
+  DeltaMultiset out_;
 };
 
 // ---------------------------------------------------------------------------
@@ -69,122 +119,190 @@ class IncSelect final : public IncrementalOperator {
 // ---------------------------------------------------------------------------
 class IncProject final : public IncrementalOperator {
  public:
-  IncProject(IncrementalOperatorPtr child, std::vector<ra::ExprPtr> outputs)
-      : child_(std::move(child)), outputs_(std::move(outputs)) {}
-
-  DeltaMultiset Initialize(const Database& db) override {
-    return Map(child_->Initialize(db));
+  IncProject(ViewRuntime* runtime, IncrementalOperatorPtr child,
+             std::vector<ra::ExprPtr> outputs)
+      : IncrementalOperator(runtime),
+        child_(std::move(child)),
+        outputs_(std::move(outputs)) {
+    AbsorbChild(*child_);
   }
 
-  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
-    return Map(child_->ApplyDelta(deltas));
+  DeltaMultiset Initialize(const Database& db) override {
+    DeltaMultiset out;
+    Map(child_->Initialize(db), &out);
+    return out;
+  }
+
+ protected:
+  const DeltaMultiset* ApplyDeltaImpl(const DeltaSet& deltas) override {
+    const DeltaMultiset* in = child_->ApplyDelta(deltas);
+    out_.Clear();
+    Map(*in, &out_);
+    return &out_;
   }
 
  private:
-  DeltaMultiset Map(const DeltaMultiset& in) const {
-    DeltaMultiset out;
+  void Map(const DeltaMultiset& in, DeltaMultiset* out) const {
     in.ForEach([&](const Tuple& t, int64_t c) {
       std::vector<Value> values;
       values.reserve(outputs_.size());
       for (const auto& e : outputs_) values.push_back(e->Eval(t));
-      out.Add(Tuple(std::move(values)), c);
+      out->Add(Tuple(std::move(values)), c);
     });
-    return out;
   }
 
   IncrementalOperatorPtr child_;
   std::vector<ra::ExprPtr> outputs_;
+  DeltaMultiset out_;
+};
+
+// Signed counts keyed by interned tuple pointer. Join-key buckets are
+// usually tiny (a handful of rows share a key), so entries live in an
+// inline vector scanned by pointer equality — no hashing, no node
+// allocations — spilling to a hash map only for hot keys.
+class PtrBag {
+ public:
+  static constexpr size_t kInlineCapacity = 8;
+
+  void Add(const Tuple* tuple, int64_t count) {
+    if (!spilled_) {
+      for (auto& entry : inline_) {
+        if (entry.first == tuple) {
+          entry.second += count;
+          if (entry.second == 0) {
+            entry = inline_.back();
+            inline_.pop_back();
+          }
+          return;
+        }
+      }
+      if (inline_.size() < kInlineCapacity) {
+        inline_.emplace_back(tuple, count);
+        return;
+      }
+      counts_.reserve(4 * kInlineCapacity);
+      for (const auto& entry : inline_) {
+        counts_.emplace(entry.first, entry.second);
+      }
+      inline_.clear();
+      spilled_ = true;
+    }
+    const auto [it, inserted] = counts_.emplace(tuple, count);
+    if (!inserted) {
+      it->second += count;
+      if (it->second == 0) counts_.erase(it);
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (!spilled_) {
+      for (const auto& [tuple, count] : inline_) fn(tuple, count);
+      return;
+    }
+    for (const auto& [tuple, count] : counts_) fn(tuple, count);
+  }
+
+ private:
+  std::vector<std::pair<const Tuple*, int64_t>> inline_;
+  std::unordered_map<const Tuple*, int64_t> counts_;
+  bool spilled_ = false;
 };
 
 // ---------------------------------------------------------------------------
-// Join: ⋈ is bilinear, so (L+ΔL)⋈(R+ΔR) = L⋈R + ΔL⋈R + L⋈ΔR + ΔL⋈ΔR.
-// Both inputs are materialized with hash indexes on the join key so each
-// delta term costs O(|Δ| · matches) instead of a full re-join. Empty key
-// lists degrade to a Cartesian product (single bucket).
+// Join: ⋈ is bilinear, so (L+ΔL)⋈(R+ΔR) = L⋈R + ΔL⋈R_old + (L+ΔL)⋈ΔR.
+// Folding ΔL into the materialized left state *before* probing with ΔR
+// makes the second term cover both L_old⋈ΔR and the ΔL⋈ΔR cross term, so
+// every delta term is hash-grouped probing — there is no nested loop over
+// ΔL×ΔR. State buckets hold pointers into the view's TupleArena, so a tuple
+// materialized by both sides of a self-join is stored once. Empty key lists
+// degrade to a Cartesian product (single bucket).
 // ---------------------------------------------------------------------------
 class IncJoin final : public IncrementalOperator {
  public:
-  IncJoin(IncrementalOperatorPtr left, IncrementalOperatorPtr right,
-          std::vector<size_t> left_keys, std::vector<size_t> right_keys,
-          ra::ExprPtr residual)
-      : left_(std::move(left)),
+  IncJoin(ViewRuntime* runtime, IncrementalOperatorPtr left,
+          IncrementalOperatorPtr right, std::vector<size_t> left_keys,
+          std::vector<size_t> right_keys, ra::ExprPtr residual)
+      : IncrementalOperator(runtime),
+        left_(std::move(left)),
         right_(std::move(right)),
         left_keys_(std::move(left_keys)),
         right_keys_(std::move(right_keys)),
-        residual_(std::move(residual)) {}
+        residual_(std::move(residual)) {
+    AbsorbChild(*left_);
+    AbsorbChild(*right_);
+  }
 
   DeltaMultiset Initialize(const Database& db) override {
     left_state_.clear();
     right_state_.clear();
     const DeltaMultiset l = left_->Initialize(db);
     const DeltaMultiset r = right_->Initialize(db);
-    Fold(r, right_keys_, right_state_);
-    DeltaMultiset out = JoinAgainst(l, /*probe_left=*/true);
-    Fold(l, left_keys_, left_state_);
+    Fold(r, right_keys_, &right_state_);
+    DeltaMultiset out;
+    JoinAgainst(l, /*probe_left=*/true, &out);
+    Fold(l, left_keys_, &left_state_);
     return out;
   }
 
-  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
-    const DeltaMultiset dl = left_->ApplyDelta(deltas);
-    const DeltaMultiset dr = right_->ApplyDelta(deltas);
-    DeltaMultiset out;
-    // ΔL ⋈ R_old.
-    if (!dl.empty()) out.Merge(JoinAgainst(dl, /*probe_left=*/true));
-    // L_old ⋈ ΔR.
-    if (!dr.empty()) out.Merge(JoinAgainst(dr, /*probe_left=*/false));
-    // ΔL ⋈ ΔR (both sides small).
-    if (!dl.empty() && !dr.empty()) {
-      dl.ForEach([&](const Tuple& lt, int64_t lc) {
-        const Tuple key = lt.Project(left_keys_);
-        dr.ForEach([&](const Tuple& rt, int64_t rc) {
-          if (rt.Project(right_keys_) == key) Emit(lt, rt, lc * rc, out);
-        });
-      });
+ protected:
+  const DeltaMultiset* ApplyDeltaImpl(const DeltaSet& deltas) override {
+    out_.Clear();
+    // ΔL ⋈ R_old, then fold ΔL so the ΔR probe below sees L_new = L + ΔL.
+    const DeltaMultiset* dl = left_->ApplyDelta(deltas);
+    if (!dl->empty()) {
+      JoinAgainst(*dl, /*probe_left=*/true, &out_);
+      Fold(*dl, left_keys_, &left_state_);
     }
-    Fold(dl, left_keys_, left_state_);
-    Fold(dr, right_keys_, right_state_);
-    return out;
+    // ΔR ⋈ L_new — absorbs the ΔL⋈ΔR cross term into the hash probes.
+    const DeltaMultiset* dr = right_->ApplyDelta(deltas);
+    if (!dr->empty()) {
+      JoinAgainst(*dr, /*probe_left=*/false, &out_);
+      Fold(*dr, right_keys_, &right_state_);
+    }
+    return &out_;
   }
 
  private:
-  // key tuple -> (full tuple -> signed count)
-  using KeyedState = std::unordered_map<Tuple, DeltaMultiset, TupleHasher>;
+  // key tuple -> bucket of matching interned tuples.
+  using KeyedState = std::unordered_map<Tuple, PtrBag, TupleHasher>;
 
   void Fold(const DeltaMultiset& delta, const std::vector<size_t>& keys,
-            KeyedState& state) {
+            KeyedState* state) {
     delta.ForEach([&](const Tuple& t, int64_t c) {
-      DeltaMultiset& bucket = state[t.Project(keys)];
-      bucket.Add(t, c);
-      // Leave empty buckets in place; they are rare and harmless.
+      const Tuple* interned = runtime_->arena.Intern(t);
+      t.ProjectInto(keys, &key_scratch_);
+      // Leaves empty buckets in place; they are rare and harmless.
+      (*state)[key_scratch_].Add(interned, c);
     });
   }
 
   void Emit(const Tuple& l, const Tuple& r, int64_t count,
-            DeltaMultiset& out) const {
+            DeltaMultiset* out) const {
     Tuple joined = Tuple::Concat(l, r);
     if (residual_ == nullptr || residual_->EvalBool(joined)) {
-      out.Add(joined, count);
+      out->Add(joined, count);
     }
   }
 
   /// Joins `probe` against the opposite side's materialized state.
-  DeltaMultiset JoinAgainst(const DeltaMultiset& probe, bool probe_left) const {
+  void JoinAgainst(const DeltaMultiset& probe, bool probe_left,
+                   DeltaMultiset* out) {
     const KeyedState& state = probe_left ? right_state_ : left_state_;
     const std::vector<size_t>& probe_keys =
         probe_left ? left_keys_ : right_keys_;
-    DeltaMultiset out;
     probe.ForEach([&](const Tuple& pt, int64_t pc) {
-      const auto it = state.find(pt.Project(probe_keys));
+      pt.ProjectInto(probe_keys, &key_scratch_);
+      const auto it = state.find(key_scratch_);
       if (it == state.end()) return;
-      it->second.ForEach([&](const Tuple& st, int64_t sc) {
+      it->second.ForEach([&](const Tuple* st, int64_t sc) {
         if (probe_left) {
-          Emit(pt, st, pc * sc, out);
+          Emit(pt, *st, pc * sc, out);
         } else {
-          Emit(st, pt, pc * sc, out);
+          Emit(*st, pt, pc * sc, out);
         }
       });
     });
-    return out;
   }
 
   IncrementalOperatorPtr left_;
@@ -194,20 +312,28 @@ class IncJoin final : public IncrementalOperator {
   ra::ExprPtr residual_;
   KeyedState left_state_;
   KeyedState right_state_;
+  DeltaMultiset out_;
+  // Reused key-projection scratch (a view is single-threaded).
+  Tuple key_scratch_;
 };
 
 // ---------------------------------------------------------------------------
 // Aggregate: per-group running states folded with signed deltas. COUNT /
 // COUNT_IF / SUM / AVG reverse exactly under deletion; MIN/MAX keep an
-// ordered value multiset so deleted extrema can be recovered.
+// ordered value multiset so deleted extrema can be recovered. Group keys are
+// interned: the groups map and the per-round snapshot maps hash pointers.
 // ---------------------------------------------------------------------------
 class IncAggregate final : public IncrementalOperator {
  public:
-  IncAggregate(IncrementalOperatorPtr child, std::vector<size_t> group_by,
+  IncAggregate(ViewRuntime* runtime, IncrementalOperatorPtr child,
+               std::vector<size_t> group_by,
                std::vector<AggregateSpec> aggregates)
-      : child_(std::move(child)),
+      : IncrementalOperator(runtime),
+        child_(std::move(child)),
         group_by_(std::move(group_by)),
-        aggregates_(std::move(aggregates)) {}
+        aggregates_(std::move(aggregates)) {
+    AbsorbChild(*child_);
+  }
 
   DeltaMultiset Initialize(const Database& db) override {
     groups_.clear();
@@ -216,7 +342,7 @@ class IncAggregate final : public IncrementalOperator {
     in.ForEach([&](const Tuple& t, int64_t c) { FoldTuple(t, c); });
     DeltaMultiset out;
     for (const auto& [key, state] : groups_) {
-      out.Add(OutputRow(key, state), 1);
+      out.Add(OutputRow(*key, state), 1);
     }
     if (group_by_.empty() && groups_.empty()) {
       out.Add(OutputRow(Tuple(), GroupState(aggregates_.size())), 1);
@@ -224,36 +350,38 @@ class IncAggregate final : public IncrementalOperator {
     return out;
   }
 
-  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
-    const DeltaMultiset din = child_->ApplyDelta(deltas);
-    if (din.empty()) return {};
+ protected:
+  const DeltaMultiset* ApplyDeltaImpl(const DeltaSet& deltas) override {
+    const DeltaMultiset* din = child_->ApplyDelta(deltas);
+    out_.Clear();
+    if (din->empty()) return &out_;
     // Snapshot the old output row of every group the delta touches.
-    std::unordered_map<Tuple, Tuple, TupleHasher> old_rows;
-    std::unordered_map<Tuple, bool, TupleHasher> old_existed;
-    din.ForEach([&](const Tuple& t, int64_t) {
-      Tuple key = t.Project(group_by_);
-      if (old_rows.count(key) > 0) return;
+    old_rows_.clear();
+    old_existed_.clear();
+    din->ForEach([&](const Tuple& t, int64_t) {
+      t.ProjectInto(group_by_, &key_scratch_);
+      const Tuple* key = runtime_->arena.Intern(key_scratch_);
+      if (old_existed_.count(key) > 0) return;
       const auto it = groups_.find(key);
       const bool existed = it != groups_.end() || group_by_.empty();
-      old_existed[key] = existed;
+      old_existed_[key] = existed;
       if (it != groups_.end()) {
-        old_rows.emplace(key, OutputRow(key, it->second));
+        old_rows_.emplace(key, OutputRow(*key, it->second));
       } else if (group_by_.empty()) {
-        old_rows.emplace(key, OutputRow(key, GroupState(aggregates_.size())));
+        old_rows_.emplace(key, OutputRow(*key, GroupState(aggregates_.size())));
       }
     });
-    din.ForEach([&](const Tuple& t, int64_t c) { FoldTuple(t, c); });
-    DeltaMultiset out;
-    for (const auto& [key, existed] : old_existed) {
-      if (existed) out.Add(old_rows.at(key), -1);
+    din->ForEach([&](const Tuple& t, int64_t c) { FoldTuple(t, c); });
+    for (const auto& [key, existed] : old_existed_) {
+      if (existed) out_.Add(old_rows_.at(key), -1);
       const auto it = groups_.find(key);
       if (it != groups_.end()) {
-        out.Add(OutputRow(key, it->second), 1);
+        out_.Add(OutputRow(*key, it->second), 1);
       } else if (group_by_.empty()) {
-        out.Add(OutputRow(key, GroupState(aggregates_.size())), 1);
+        out_.Add(OutputRow(*key, GroupState(aggregates_.size())), 1);
       }
     }
-    return out;
+    return &out_;
   }
 
  private:
@@ -271,10 +399,11 @@ class IncAggregate final : public IncrementalOperator {
   };
 
   void FoldTuple(const Tuple& t, int64_t c) {
-    Tuple key = t.Project(group_by_);
+    t.ProjectInto(group_by_, &key_scratch_);
+    const Tuple* key = runtime_->arena.Intern(key_scratch_);
     auto it = groups_.find(key);
     if (it == groups_.end()) {
-      it = groups_.emplace(std::move(key), GroupState(aggregates_.size())).first;
+      it = groups_.emplace(key, GroupState(aggregates_.size())).first;
     }
     GroupState& group = it->second;
     group.support += c;
@@ -371,71 +500,89 @@ class IncAggregate final : public IncrementalOperator {
   IncrementalOperatorPtr child_;
   std::vector<size_t> group_by_;
   std::vector<AggregateSpec> aggregates_;
-  std::unordered_map<Tuple, GroupState, TupleHasher> groups_;
+  std::unordered_map<const Tuple*, GroupState> groups_;
+  // Per-round scratch (reused so spilled hash storage survives rounds).
+  std::unordered_map<const Tuple*, Tuple> old_rows_;
+  std::unordered_map<const Tuple*, bool> old_existed_;
+  DeltaMultiset out_;
+  Tuple key_scratch_;
 };
 
 // ---------------------------------------------------------------------------
-// Distinct: support counts; an output row appears on a 0→positive transition
-// and disappears on positive→0.
+// Distinct: support counts over interned tuples; an output row appears on a
+// 0→positive transition and disappears on positive→0.
 // ---------------------------------------------------------------------------
 class IncDistinct final : public IncrementalOperator {
  public:
-  explicit IncDistinct(IncrementalOperatorPtr child)
-      : child_(std::move(child)) {}
+  IncDistinct(ViewRuntime* runtime, IncrementalOperatorPtr child)
+      : IncrementalOperator(runtime), child_(std::move(child)) {
+    AbsorbChild(*child_);
+  }
 
   DeltaMultiset Initialize(const Database& db) override {
-    support_.Clear();
+    support_.clear();
     const DeltaMultiset in = child_->Initialize(db);
     DeltaMultiset out;
     in.ForEach([&](const Tuple& t, int64_t c) {
-      if (support_.Count(t) == 0 && c > 0) out.Add(t, 1);
-      support_.Add(t, c);
+      const Tuple* key = runtime_->arena.Intern(t);
+      int64_t& count = support_[key];
+      if (count == 0 && c > 0) out.Add(t, 1);
+      count += c;
     });
     return out;
   }
 
-  DeltaMultiset ApplyDelta(const DeltaSet& deltas) override {
-    const DeltaMultiset din = child_->ApplyDelta(deltas);
-    DeltaMultiset out;
-    din.ForEach([&](const Tuple& t, int64_t c) {
-      const int64_t before = support_.Count(t);
+ protected:
+  const DeltaMultiset* ApplyDeltaImpl(const DeltaSet& deltas) override {
+    const DeltaMultiset* din = child_->ApplyDelta(deltas);
+    out_.Clear();
+    din->ForEach([&](const Tuple& t, int64_t c) {
+      const Tuple* key = runtime_->arena.Intern(t);
+      const auto it = support_.try_emplace(key, 0).first;
+      const int64_t before = it->second;
       const int64_t after = before + c;
       FGPDB_CHECK_GE(after, 0) << "negative distinct support";
-      if (before == 0 && after > 0) out.Add(t, 1);
-      if (before > 0 && after == 0) out.Add(t, -1);
-      support_.Add(t, c);
+      if (before == 0 && after > 0) out_.Add(t, 1);
+      if (before > 0 && after == 0) out_.Add(t, -1);
+      if (after == 0) {
+        support_.erase(it);
+      } else {
+        it->second = after;
+      }
     });
-    return out;
+    return &out_;
   }
 
  private:
   IncrementalOperatorPtr child_;
-  DeltaMultiset support_;
+  std::unordered_map<const Tuple*, int64_t> support_;
+  DeltaMultiset out_;
 };
 
-}  // namespace
-
-IncrementalOperatorPtr Compile(const ra::PlanNode& plan) {
+IncrementalOperatorPtr CompileNode(const ra::PlanNode& plan,
+                                   ViewRuntime* runtime) {
   switch (plan.kind()) {
     case ra::PlanKind::kScan:
       return std::make_unique<IncScan>(
-          static_cast<const ra::ScanNode&>(plan).table_name());
+          runtime, static_cast<const ra::ScanNode&>(plan).table_name());
     case ra::PlanKind::kSelect: {
       const auto& node = static_cast<const ra::SelectNode&>(plan);
-      return std::make_unique<IncSelect>(Compile(plan.child(0)),
+      return std::make_unique<IncSelect>(runtime,
+                                         CompileNode(plan.child(0), runtime),
                                          node.predicate().Clone());
     }
     case ra::PlanKind::kProject: {
       const auto& node = static_cast<const ra::ProjectNode&>(plan);
       std::vector<ra::ExprPtr> outputs;
       for (const auto& e : node.outputs()) outputs.push_back(e->Clone());
-      return std::make_unique<IncProject>(Compile(plan.child(0)),
-                                          std::move(outputs));
+      return std::make_unique<IncProject>(
+          runtime, CompileNode(plan.child(0), runtime), std::move(outputs));
     }
     case ra::PlanKind::kJoin: {
       const auto& node = static_cast<const ra::JoinNode&>(plan);
       return std::make_unique<IncJoin>(
-          Compile(plan.child(0)), Compile(plan.child(1)), node.left_keys(),
+          runtime, CompileNode(plan.child(0), runtime),
+          CompileNode(plan.child(1), runtime), node.left_keys(),
           node.right_keys(),
           node.residual() != nullptr ? node.residual()->Clone() : nullptr);
     }
@@ -443,14 +590,16 @@ IncrementalOperatorPtr Compile(const ra::PlanNode& plan) {
       const auto& node = static_cast<const ra::AggregateNode&>(plan);
       std::vector<AggregateSpec> specs;
       for (const auto& spec : node.aggregates()) specs.push_back(spec.Clone());
-      return std::make_unique<IncAggregate>(Compile(plan.child(0)),
-                                            node.group_by(), std::move(specs));
+      return std::make_unique<IncAggregate>(
+          runtime, CompileNode(plan.child(0), runtime), node.group_by(),
+          std::move(specs));
     }
     case ra::PlanKind::kDistinct:
-      return std::make_unique<IncDistinct>(Compile(plan.child(0)));
+      return std::make_unique<IncDistinct>(
+          runtime, CompileNode(plan.child(0), runtime));
     case ra::PlanKind::kOrderBy:
       // View contents are multisets; ordering is presentation-only.
-      return Compile(plan.child(0));
+      return CompileNode(plan.child(0), runtime);
     case ra::PlanKind::kLimit:
       FGPDB_FATAL() << "LIMIT is not incrementally maintainable";
   }
@@ -458,22 +607,56 @@ IncrementalOperatorPtr Compile(const ra::PlanNode& plan) {
   return nullptr;
 }
 
+}  // namespace
+
+CompiledView::CompiledView(const ra::PlanNode& plan)
+    : runtime_(std::make_unique<ViewRuntime>()) {
+  // Register tables from the plan's scanned-table metadata first so routing
+  // ids follow plan pre-order regardless of operator construction order.
+  for (const std::string& table : plan.ScannedTables()) {
+    runtime_->RegisterTable(table);
+  }
+  root_ = CompileNode(plan, runtime_.get());
+}
+
+CompiledView Compile(const ra::PlanNode& plan) { return CompiledView(plan); }
+
 MaterializedView::MaterializedView(const ra::PlanNode& plan)
-    : root_(Compile(plan)) {}
+    : compiled_(plan) {}
 
 void MaterializedView::Initialize(const Database& db) {
-  contents_ = root_->Initialize(db);
+  contents_ = compiled_.root().Initialize(db);
   FGPDB_CHECK(contents_.IsNonNegative());
   initialized_ = true;
 }
 
-DeltaMultiset MaterializedView::Apply(const DeltaSet& deltas) {
+const DeltaMultiset& MaterializedView::Apply(const DeltaSet& deltas) {
   FGPDB_CHECK(initialized_) << "MaterializedView::Initialize not called";
-  DeltaMultiset out = root_->ApplyDelta(deltas);
-  contents_.Merge(out);
-  FGPDB_CHECK(contents_.IsNonNegative())
-      << "view contents went negative — Eq. 6 bookkeeping violated";
-  return out;
+  ViewRuntime& rt = compiled_.runtime();
+  ++rt.stats.rounds;
+  // Route: mark the subscribed tables this round actually touched. Deltas
+  // for unsubscribed tables never enter the tree. One pass over the
+  // DeltaSet, O(|touched tables|), not over everything ever registered.
+  rt.touched_mask = 0;
+  deltas.ForEachTable([&](const std::string& table, const DeltaMultiset& d) {
+    if (d.empty()) return;
+    const uint64_t mask = rt.MaskOf(table);
+    if (mask == 0) {
+      ++rt.stats.tables_ignored;
+    } else {
+      rt.touched_mask |= mask;
+      ++rt.stats.tables_routed;
+    }
+  });
+  const DeltaMultiset* out = compiled_.root().ApplyDelta(deltas);
+  contents_.Merge(*out);
+  // Only entries the output delta touched can have gone negative, so the
+  // Eq. 6 bookkeeping assertion costs O(|Δout|), not O(|view|).
+  out->ForEach([&](const Tuple& t, int64_t) {
+    FGPDB_CHECK_GE(contents_.Count(t), 0)
+        << "view contents went negative — Eq. 6 bookkeeping violated";
+  });
+  return *out;
 }
 
 }  // namespace view

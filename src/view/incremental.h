@@ -10,19 +10,42 @@
 // realized operator-by-operator:
 //   σ:  Δout = σ(Δin)                                (linear)
 //   π:  Δout = π(Δin)  with signed multiset counts   (paper's Remark)
-//   ⋈:  Δout = ΔL⋈R + L⋈ΔR + ΔL⋈ΔR                   (bilinear; the operator
-//        materializes L and R with key indexes so each term costs O(|Δ|))
+//   ⋈:  Δout = ΔL⋈R_old + ΔR⋈L_new                   (bilinear; folding ΔL
+//        into the materialized left state before probing ΔR absorbs the
+//        ΔL⋈ΔR cross term into hash lookups — no nested loop)
 //   γ:  per-group running states updated by Δin; emits −old_row/+new_row
 //   δ:  distinct via support counts (emit on 0→positive transitions)
 //
+// The PR-3 routed pipeline wraps the tree in three mechanisms:
+//
+//   * Subscriptions — compilation records which base tables each subtree
+//     scans (bitmask per operator, built from the plan's scanned-table
+//     metadata). Apply() routes a round's deltas by computing the set of
+//     touched tables once; a subtree whose mask misses every touched table
+//     is skipped outright and contributes an empty delta without being
+//     visited.
+//   * Reusable buffers — ApplyDelta returns a pointer to the operator's
+//     internal output buffer (or to the DeltaSet's own per-table multiset
+//     for scans, or the shared empty delta when skipped) instead of a
+//     freshly allocated DeltaMultiset per call. Buffers retain their hash
+//     storage across rounds.
+//   * Tuple interning — all stateful operators of one view (join sides,
+//     aggregate groups, distinct support) reference tuples interned in a
+//     per-view TupleArena instead of holding private deep copies; a tuple
+//     materialized by both sides of a self-join is stored once.
+//
 // Operators never re-read the Database after Initialize(); all state needed
 // for maintenance is carried internally, so the stored world may drift ahead
-// as long as deltas arrive in order.
+// as long as deltas arrive in order. A view (and its arena) belongs to one
+// thread; parallel chains each compile their own view.
 #ifndef FGPDB_VIEW_INCREMENTAL_H_
 #define FGPDB_VIEW_INCREMENTAL_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ra/plan.h"
@@ -32,8 +55,70 @@
 namespace fgpdb {
 namespace view {
 
+/// Append-only interning pool for the tuples a view's operators keep alive.
+/// Interned pointers are stable for the arena's lifetime (node-based set),
+/// so operator state can hold `const Tuple*` instead of tuple copies.
+/// Entries are never evicted: the pool grows with the number of distinct
+/// tuples ever materialized, which MCMC workloads bound by (rows × domain).
+class TupleArena {
+ public:
+  const Tuple* Intern(const Tuple& tuple) {
+    return &*pool_.insert(tuple).first;
+  }
+  const Tuple* Intern(Tuple&& tuple) {
+    return &*pool_.insert(std::move(tuple)).first;
+  }
+
+  /// Distinct tuples interned so far.
+  size_t size() const { return pool_.size(); }
+
+ private:
+  std::unordered_set<Tuple, TupleHasher> pool_;
+};
+
+/// Counters describing how Apply() rounds were routed (diagnostics, benches,
+/// and the adaptive-thinning cost model).
+struct ApplyStats {
+  uint64_t rounds = 0;
+  /// Operators actually entered across all rounds.
+  uint64_t operators_visited = 0;
+  /// Operators skipped because no table of their subtree was touched
+  /// (counted per skipped node, so visited + skipped = rounds × tree size).
+  uint64_t operators_skipped = 0;
+  /// Non-empty per-table deltas routed into the tree.
+  uint64_t tables_routed = 0;
+  /// Non-empty per-table deltas for tables no scan subscribes to.
+  uint64_t tables_ignored = 0;
+};
+
+/// Per-view shared state: the interning arena, the subscription map built at
+/// compile time, the routing mask for the round in flight, and counters.
+struct ViewRuntime {
+  TupleArena arena;
+  ApplyStats stats;
+
+  /// Bit i set ⇔ table with id i has a non-empty delta this round. Set by
+  /// MaterializedView::Apply before walking the tree.
+  uint64_t touched_mask = 0;
+
+  /// Table name → routing bit, assigned in first-registration (plan
+  /// pre-order) order. Tables past 63 share the last bit — routing
+  /// degrades to "maybe touched" there, never to a missed delta.
+  std::unordered_map<std::string, uint64_t> table_masks;
+  /// Subscription map: table name → number of scan operators reading it.
+  std::unordered_map<std::string, size_t> subscriptions;
+
+  /// Assigns (or looks up) the routing bit for `table`.
+  uint64_t RegisterTable(const std::string& table);
+  /// RegisterTable plus a subscription count — called by each compiled scan.
+  uint64_t SubscribeScan(const std::string& table);
+  /// Routing bit for `table`; 0 if no scan subscribes to it.
+  uint64_t MaskOf(const std::string& table) const;
+};
+
 class IncrementalOperator {
  public:
+  explicit IncrementalOperator(ViewRuntime* runtime) : runtime_(runtime) {}
   virtual ~IncrementalOperator() = default;
 
   /// Full evaluation against the current world; (re)sets internal state.
@@ -41,15 +126,56 @@ class IncrementalOperator {
   virtual DeltaMultiset Initialize(const Database& db) = 0;
 
   /// Consumes base-table deltas and returns this operator's output delta.
-  virtual DeltaMultiset ApplyDelta(const DeltaSet& deltas) = 0;
+  /// The result points at a reusable internal buffer (or the DeltaSet's own
+  /// per-table delta for scans, or the shared empty delta when the routing
+  /// mask proves this subtree untouched) and is valid until the next
+  /// ApplyDelta call on this operator.
+  const DeltaMultiset* ApplyDelta(const DeltaSet& deltas);
+
+  /// Base tables read by this subtree, as a routing bitmask.
+  uint64_t reads_mask() const { return reads_mask_; }
+  /// Number of operators in this subtree (including this one).
+  size_t subtree_size() const { return subtree_size_; }
+
+ protected:
+  /// The operator body; only called when the routing mask says some table
+  /// of this subtree was touched this round.
+  virtual const DeltaMultiset* ApplyDeltaImpl(const DeltaSet& deltas) = 0;
+
+  /// Folds a child's routing metadata into this operator's (call once per
+  /// child in the derived constructor).
+  void AbsorbChild(const IncrementalOperator& child) {
+    reads_mask_ |= child.reads_mask();
+    subtree_size_ += child.subtree_size();
+  }
+
+  ViewRuntime* runtime_;
+  uint64_t reads_mask_ = 0;
+  size_t subtree_size_ = 1;
 };
 
 using IncrementalOperatorPtr = std::unique_ptr<IncrementalOperator>;
 
-/// Compiles a plan into an incremental operator tree. OrderBy nodes are
-/// skipped (view contents are multisets); Limit/Distinct-with-Limit are
-/// rejected as non-incremental. Fatal on unsupported shapes.
-IncrementalOperatorPtr Compile(const ra::PlanNode& plan);
+/// A compiled operator tree plus the runtime (arena, subscriptions, stats)
+/// its operators reference. Movable; the runtime address is stable.
+class CompiledView {
+ public:
+  explicit CompiledView(const ra::PlanNode& plan);
+
+  IncrementalOperator& root() { return *root_; }
+  ViewRuntime& runtime() { return *runtime_; }
+  const ViewRuntime& runtime() const { return *runtime_; }
+
+ private:
+  std::unique_ptr<ViewRuntime> runtime_;
+  IncrementalOperatorPtr root_;
+};
+
+/// Compiles a plan into an incremental operator tree with its subscription
+/// map. OrderBy nodes are skipped (view contents are multisets);
+/// Limit/Distinct-with-Limit are rejected as non-incremental. Fatal on
+/// unsupported shapes.
+CompiledView Compile(const ra::PlanNode& plan);
 
 /// A maintained view: operator tree + its current materialized contents.
 class MaterializedView {
@@ -61,16 +187,29 @@ class MaterializedView {
   void Initialize(const Database& db);
 
   /// Folds a round of base-table deltas into the view; returns the output
-  /// delta (what changed in the answer).
-  DeltaMultiset Apply(const DeltaSet& deltas);
+  /// delta (what changed in the answer). Each table's delta is routed only
+  /// to the subtrees subscribed to it; untouched subtrees are skipped. The
+  /// returned reference is valid until the next Apply.
+  const DeltaMultiset& Apply(const DeltaSet& deltas);
 
   /// Current contents (bag: counts >= 1).
   const DeltaMultiset& contents() const { return contents_; }
 
   bool initialized() const { return initialized_; }
 
+  /// Subscription map: base table → number of scan operators reading it.
+  const std::unordered_map<std::string, size_t>& subscriptions() const {
+    return compiled_.runtime().subscriptions;
+  }
+
+  /// Routing/visit counters accumulated over all Apply rounds.
+  const ApplyStats& stats() const { return compiled_.runtime().stats; }
+
+  /// Distinct tuples interned by this view's operators (diagnostics).
+  size_t arena_size() const { return compiled_.runtime().arena.size(); }
+
  private:
-  IncrementalOperatorPtr root_;
+  CompiledView compiled_;
   DeltaMultiset contents_;
   bool initialized_ = false;
 };

@@ -99,7 +99,8 @@ TEST(TupleBindingTest, DomainSizes) {
 
 TEST(ProbabilisticDatabaseTest, TakeDeltasDrainsBuffer) {
   BindingFixture f;
-  f.pdb.binding().ApplyToDatabase({{0, 0, 1}}, &f.pdb.db(), nullptr);
+  f.pdb.binding().ApplyToDatabase({{0, 0, 1}}, &f.pdb.db(),
+                                  static_cast<view::DeltaSet*>(nullptr));
   // Direct ApplyToDatabase with nullptr doesn't buffer; use the internal path:
   view::DeltaSet manual;
   f.pdb.binding().ApplyToDatabase({{1, 0, 1}}, &f.pdb.db(), &manual);
