@@ -43,6 +43,34 @@ void BM_MhStepLinearChain(benchmark::State& state) {
   tokens.pdb->DiscardDeltas();
 }
 
+void BM_MhStepPhases(benchmark::State& state) {
+  // The hot-path breakdown: attaches the sampler's phase accumulator and
+  // reports how a step splits into propose / score / apply / mirror —
+  // the profile that picks which slice to attack next (ROADMAP).
+  const size_t n = static_cast<size_t>(state.range(0));
+  NerBench bench(n);
+  auto proposal = bench.MakeProposal();
+  auto sampler = bench.tokens.pdb->MakeSampler(proposal.get(), 17);
+  sampler->Run(100);
+  infer::StepPhaseTotals totals;
+  sampler->set_phase_totals(&totals);
+  for (auto _ : state) {
+    sampler->Step();
+  }
+  sampler->set_phase_totals(nullptr);
+  bench.tokens.pdb->DiscardDeltas();
+  const double steps = static_cast<double>(totals.steps);
+  state.counters["propose_ns"] = totals.propose_seconds * 1e9 / steps;
+  state.counters["score_ns"] = totals.score_seconds * 1e9 / steps;
+  state.counters["apply_ns"] = totals.apply_seconds * 1e9 / steps;
+  state.counters["mirror_ns"] = totals.mirror_seconds * 1e9 / steps;
+  state.counters["propose_frac"] = totals.propose_seconds / totals.TotalSeconds();
+  state.counters["score_frac"] = totals.score_seconds / totals.TotalSeconds();
+  state.counters["apply_frac"] = totals.apply_seconds / totals.TotalSeconds();
+  state.counters["mirror_frac"] = totals.mirror_seconds / totals.TotalSeconds();
+  state.SetLabel(std::to_string(n) + " tuples, phase split");
+}
+
 void BM_GibbsStep(benchmark::State& state) {
   // Gibbs resampling evaluates the local conditional for all 9 labels.
   const size_t n = static_cast<size_t>(state.range(0));
@@ -58,6 +86,8 @@ void BM_GibbsStep(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_MhStep)->Arg(10000)->Arg(50000)->Arg(200000)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_MhStepPhases)->Arg(10000)->Arg(200000)
     ->Unit(benchmark::kNanosecond);
 BENCHMARK(BM_MhStepLinearChain)->Arg(10000)->Arg(200000)
     ->Unit(benchmark::kNanosecond);

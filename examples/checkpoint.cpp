@@ -9,13 +9,12 @@
 #include <filesystem>
 #include <iostream>
 
+#include "api/session.h"
 #include "ie/corpus.h"
 #include "ie/ner_proposal.h"
 #include "ie/queries.h"
 #include "ie/skip_chain_model.h"
 #include "ie/token_pdb.h"
-#include "pdb/query_evaluator.h"
-#include "sql/binder.h"
 #include "storage/csv_io.h"
 
 using namespace fgpdb;
@@ -69,16 +68,22 @@ int main(int argc, char** argv) {
   }
   std::cout << "Restored world: " << mismatches << " label mismatches (want 0)\n";
 
-  // Resume: answer Query 1 from the restored state.
-  ra::PlanPtr plan = sql::PlanQuery(ie::kQuery1, restored.db());
-  ie::DocumentBatchProposal resume_proposal(&tokens.docs);
-  pdb::MaterializedQueryEvaluator evaluator(&restored, &resume_proposal,
-                                            plan.get(),
-                                            {.steps_per_sample = 1000, .seed = 9});
-  evaluator.Run(200);
-  std::cout << "Resumed inference: " << evaluator.answer().Sorted().size()
-            << " tuples in the Query 1 answer after 200 samples.\n";
-  for (const auto& [tuple, p] : evaluator.answer().TopK(3)) {
+  // Resume: answer Query 1 from the restored state through the Session
+  // front door (the session samples its own snapshot of `restored`).
+  auto session = api::Session::Open(
+      {.database = &restored,
+       .proposal_factory =
+           [&tokens](pdb::ProbabilisticDatabase&) -> std::unique_ptr<infer::Proposal> {
+             return std::make_unique<ie::DocumentBatchProposal>(&tokens.docs);
+           },
+       .evaluator = {.steps_per_sample = 1000, .seed = 9}});
+  api::ResultHandle query = session->Register(ie::kQuery1);
+  session->Run(200);
+  const api::QueryProgress progress = query.Snapshot();
+  std::cout << "Resumed inference: " << progress.answer.Sorted().size()
+            << " tuples in the Query 1 answer after " << progress.samples
+            << " samples.\n";
+  for (const auto& [tuple, p] : progress.answer.TopK(3)) {
     std::cout << "  " << tuple.ToString() << "  Pr=" << p << "\n";
   }
   std::filesystem::remove_all(dir);

@@ -2,12 +2,20 @@
 // name mentions with a pairwise factor model, sampling partitions with the
 // constraint-preserving split-merge proposal. The MENTION relation stores
 // the single current clustering; Metropolis-Hastings recovers the posterior
-// over co-reference decisions, reported as pairwise match probabilities.
+// over co-reference decisions.
+//
+// The pairwise match probabilities are answered as a SQL query through the
+// Session front door — a self-join on the uncertain CLUSTER attribute whose
+// maintained view IS the coreference matrix:
+//
+//   SELECT M1.NAME, M2.NAME FROM MENTION M1, MENTION M2
+//   WHERE M1.CLUSTER = M2.CLUSTER AND M1.ID < M2.ID
 //
 //   ./examples/entity_resolution
 #include <iomanip>
 #include <iostream>
 
+#include "api/session.h"
 #include "ie/entity_resolution.h"
 #include "infer/metropolis_hastings.h"
 #include "pdb/probabilistic_database.h"
@@ -24,8 +32,8 @@ int main() {
   };
   ie::EntityResolutionModel model(mentions);
 
-  // Store the single world in a MENTION(ID, CLUSTER) relation, as the paper
-  // stores clusterings (Figure 1 Pane C).
+  // Store the single world in a MENTION(ID, NAME, CLUSTER) relation, as the
+  // paper stores clusterings (Figure 1 Pane C).
   pdb::ProbabilisticDatabase db;
   Schema schema(
       {Attribute{"ID", ValueType::kInt64},
@@ -44,45 +52,42 @@ int main() {
   db.SyncWorldFromDatabase();
   db.set_model(&model);
 
-  // Sample partitions with split-merge.
-  ie::SplitMergeProposal proposal(model);
-  auto sampler = db.MakeSampler(&proposal, /*seed=*/7);
-  Stopwatch timer;
-  sampler->Run(20000);  // Burn-in.
-  db.DiscardDeltas();
+  // The pairwise-coreference query: its sampled marginals are exactly
+  // Pr[mention i and mention j share a cluster].
+  const char* kCoreferenceQuery =
+      "SELECT M1.NAME, M2.NAME FROM MENTION M1, MENTION M2 "
+      "WHERE M1.CLUSTER = M2.CLUSTER AND M1.ID < M2.ID";
 
-  // Pairwise co-reference marginals.
-  std::vector<std::vector<double>> together(
-      mentions.size(), std::vector<double>(mentions.size(), 0.0));
-  const int kSamples = 50000;
-  for (int s = 0; s < kSamples; ++s) {
-    sampler->Step();
-    for (size_t i = 0; i < mentions.size(); ++i) {
-      for (size_t j = i + 1; j < mentions.size(); ++j) {
-        if (db.world().Get(static_cast<factor::VarId>(i)) ==
-            db.world().Get(static_cast<factor::VarId>(j))) {
-          together[i][j] += 1.0;
-        }
-      }
-    }
-  }
-  db.DiscardDeltas();
-  std::cout << "Sampled " << kSamples << " partitions in "
+  auto session = api::Session::Open(
+      {.database = &db,
+       .proposal_factory =
+           [&model](pdb::ProbabilisticDatabase&) -> std::unique_ptr<infer::Proposal> {
+             return std::make_unique<ie::SplitMergeProposal>(model);
+           },
+       .evaluator = {.steps_per_sample = 1, .burn_in = 20000, .seed = 7}});
+  api::ResultHandle pairs = session->Register(kCoreferenceQuery);
+
+  Stopwatch timer;
+  const uint64_t kSamples = 50000;  // One collected sample per MH step.
+  session->Run(kSamples);
+  const api::QueryProgress progress = pairs.Snapshot();
+  std::cout << "Sampled " << progress.samples << " partitions in "
             << timer.ElapsedSeconds() << "s (acceptance rate "
-            << sampler->acceptance_rate() << ")\n\n";
+            << progress.acceptance_rate << ")\n\n";
 
   std::cout << "Pairwise coreference probabilities (>= 0.05):\n";
-  for (size_t i = 0; i < mentions.size(); ++i) {
-    for (size_t j = i + 1; j < mentions.size(); ++j) {
-      const double p = together[i][j] / kSamples;
-      if (p >= 0.05) {
-        std::cout << "  " << std::setw(16) << mentions[i] << " ~ "
-                  << std::setw(16) << mentions[j] << "  " << p << "\n";
-      }
-    }
+  for (const auto& [pair, p] : progress.answer.Sorted()) {
+    if (p < 0.05) continue;
+    std::cout << "  " << std::setw(16) << pair.at(0).AsString() << " ~ "
+              << std::setw(16) << pair.at(1).AsString() << "  " << p << "\n";
   }
 
-  // The maximum-probability clustering seen in the final state.
+  // Under the facade the same machinery is available directly: sample a
+  // final clustering with a raw chain on the base world and show it.
+  ie::SplitMergeProposal proposal(model);
+  auto sampler = db.MakeSampler(&proposal, /*seed=*/7);
+  sampler->Run(70000);
+  db.DiscardDeltas();
   std::cout << "\nFinal sampled clustering (stored in the MENTION relation):\n";
   for (const auto& cluster : model.Clusters(db.world())) {
     std::cout << "  {";

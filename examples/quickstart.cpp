@@ -1,18 +1,19 @@
 // Quickstart: build a probabilistic database over a small synthetic news
 // corpus, attach a skip-chain CRF, and answer the paper's Query 1 with
-// marginal probabilities via MCMC + materialized view maintenance.
+// marginal probabilities through the Session front door (api::Session):
+// Open wires the MCMC chain, Register attaches the query as a maintained
+// view, Run samples, and the ResultHandle reads marginals.
 //
 //   ./examples/quickstart [num_tokens]
 #include <cstdlib>
 #include <iostream>
 
+#include "api/session.h"
 #include "ie/corpus.h"
 #include "ie/ner_proposal.h"
 #include "ie/queries.h"
 #include "ie/skip_chain_model.h"
 #include "ie/token_pdb.h"
-#include "pdb/query_evaluator.h"
-#include "sql/binder.h"
 #include "util/stopwatch.h"
 
 using namespace fgpdb;
@@ -34,22 +35,29 @@ int main(int argc, char** argv) {
   tokens.pdb->set_model(&model);
   std::cout << "Model: " << model.num_skip_edges() << " skip edges\n";
 
-  // 3. Evaluate Query 1 with the materialized-view evaluator (Alg. 1).
+  // 3. Open a Session: it owns the sampler wiring (and samples its own
+  //    copy-on-write snapshot — `tokens.pdb` stays pristine).
+  auto session = api::Session::Open(
+      {.database = tokens.pdb.get(),
+       .proposal_factory =
+           [&tokens](pdb::ProbabilisticDatabase&) -> std::unique_ptr<infer::Proposal> {
+             return std::make_unique<ie::DocumentBatchProposal>(&tokens.docs);
+           },
+       .evaluator = {.steps_per_sample = 2000, .burn_in = 10000, .seed = 17}});
+
+  // 4. Register Query 1 as a materialized view on the session's chain and
+  //    sample. The default policy is serial (Alg. 1, delta-maintained).
   std::cout << "Query: " << ie::kQuery1 << "\n";
-  ra::PlanPtr plan = sql::PlanQuery(ie::kQuery1, tokens.pdb->db());
-  ie::DocumentBatchProposal proposal(&tokens.docs);
-  pdb::MaterializedQueryEvaluator evaluator(
-      tokens.pdb.get(), &proposal, plan.get(),
-      {.steps_per_sample = 2000, .burn_in = 10000, .seed = 17});
-
+  api::ResultHandle query = session->Register(ie::kQuery1);
   Stopwatch timer;
-  evaluator.Run(/*samples=*/200);
-  std::cout << "Drew 200 samples (k=2000) in " << timer.ElapsedSeconds()
-            << "s; MH acceptance rate "
-            << evaluator.sampler().acceptance_rate() << "\n\n";
+  session->Run(/*samples=*/200);
+  api::QueryProgress progress = query.Snapshot();
+  std::cout << "Drew " << progress.samples << " samples (k="
+            << progress.steps_per_sample << ") in " << timer.ElapsedSeconds()
+            << "s; MH acceptance rate " << progress.acceptance_rate << "\n\n";
 
-  // 4. Report the marginal probability of each tuple being in the answer.
-  auto sorted = evaluator.answer().Sorted();
+  // 5. Report the marginal probability of each tuple being in the answer.
+  auto sorted = progress.answer.Sorted();
   std::sort(sorted.begin(), sorted.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
   std::cout << "Top person-mention strings (tuple, Pr[t in answer]):\n";

@@ -1,0 +1,153 @@
+#include "api/session.h"
+
+#include <utility>
+
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace api {
+
+// --- ResultHandle -----------------------------------------------------------
+
+QueryProgress ResultHandle::Snapshot() const {
+  return session_->SnapshotSlot(slot_);
+}
+
+const PreparedQueryPtr& ResultHandle::query() const {
+  return session_->registered_.at(slot_).query;
+}
+
+// --- Session ----------------------------------------------------------------
+
+std::string Session::NormalizeSql(const std::string& sql) {
+  // Lexer-backed normalization: keywords come back uppercased, whitespace
+  // and comments between tokens vanish, and `!=` canonicalizes to `<>`.
+  // Identifier case and string literals are preserved verbatim, so two
+  // texts share a cache entry exactly when they tokenize identically.
+  std::string out;
+  for (const sql::Token& token : sql::Lex(sql)) {
+    if (token.type == sql::TokenType::kEnd) break;
+    if (!out.empty()) out += ' ';
+    if (token.type == sql::TokenType::kString) {
+      out += '\'';
+      for (const char c : token.text) {
+        out += c;
+        if (c == '\'') out += c;  // Re-escape embedded quotes.
+      }
+      out += '\'';
+    } else {
+      out += token.text;
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Session> Session::Open(SessionOptions options) {
+  FGPDB_CHECK(options.database != nullptr) << "SessionOptions.database is required";
+  FGPDB_CHECK(options.proposal_factory != nullptr)
+      << "SessionOptions.proposal_factory is required";
+  return std::unique_ptr<Session>(new Session(std::move(options)));
+}
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {
+  // The session's world is a copy-on-write snapshot: serial/naive chains
+  // mutate it freely and the caller's database stays pristine under every
+  // policy (parallel chains snapshot the base again per batch).
+  world_ = options_.database->Snapshot();
+  if (options_.model != nullptr) world_->set_model(options_.model);
+  if (options_.policy.mode != ExecutionPolicy::Mode::kParallel) {
+    proposal_ = options_.proposal_factory(*world_);
+    chain_ = std::make_unique<pdb::SharedChainEvaluator>(
+        world_.get(), proposal_.get(), options_.evaluator,
+        /*materialized=*/options_.policy.mode != ExecutionPolicy::Mode::kNaive);
+  }
+}
+
+Session::~Session() = default;
+
+PreparedQueryPtr Session::Prepare(const std::string& sql) {
+  const std::string normalized = NormalizeSql(sql);
+  const auto it = prepared_cache_.find(normalized);
+  if (it != prepared_cache_.end()) return it->second;
+  ra::PlanPtr plan = sql::PlanQuery(sql, world_->db());
+  PreparedQueryPtr prepared(
+      new PreparedQuery(normalized, sql, std::move(plan)));
+  prepared_cache_.emplace(normalized, prepared);
+  return prepared;
+}
+
+ResultHandle Session::Register(const PreparedQueryPtr& prepared) {
+  FGPDB_CHECK(prepared != nullptr);
+  const size_t slot = registered_.size();
+  if (chain_ != nullptr) {
+    const size_t chain_slot = chain_->AddQuery(&prepared->plan());
+    FGPDB_CHECK_EQ(chain_slot, slot);
+  }
+  for (const std::string& table : prepared->plan().ScannedTables()) {
+    ++subscriptions_[table];
+  }
+  registered_.push_back(Registered{prepared, pdb::QueryAnswer{}});
+  return ResultHandle(this, slot);
+}
+
+void Session::Run(uint64_t samples) {
+  FGPDB_CHECK(!registered_.empty())
+      << "Register at least one query before Run()";
+  if (options_.policy.mode != ExecutionPolicy::Mode::kParallel) {
+    chain_->Run(samples);
+    return;
+  }
+  // Parallel policy: a fresh batch of COW chains per Run() epoch, every
+  // chain maintaining ALL registered views on its one sampler, per-query
+  // answers merged as chains finish. Distinct epoch salts decorrelate
+  // successive batches (epoch 0 matches a standalone EvaluateParallel).
+  std::vector<const ra::PlanNode*> plans;
+  plans.reserve(registered_.size());
+  for (const Registered& r : registered_) plans.push_back(&r.query->plan());
+  pdb::ParallelOptions parallel;
+  parallel.num_chains = options_.policy.num_chains;
+  parallel.samples_per_chain = samples;
+  parallel.chain_options = options_.evaluator;
+  parallel.materialized = true;
+  parallel.use_threads = options_.policy.use_threads;
+  parallel.max_threads = options_.policy.max_threads;
+  pdb::MultiQueryAnswer batch =
+      pdb::EvaluateParallelMulti(*world_, plans, options_.proposal_factory,
+                                 parallel,
+                                 /*seed_salt=*/parallel_epoch_ *
+                                     0xbf58476d1ce4e5b9ULL);
+  ++parallel_epoch_;
+  parallel_proposed_ += batch.total_proposed;
+  parallel_accepted_ += batch.total_accepted;
+  for (size_t q = 0; q < registered_.size(); ++q) {
+    registered_[q].merged.Merge(batch.answers[q]);
+  }
+}
+
+QueryProgress Session::SnapshotSlot(size_t slot) const {
+  QueryProgress progress;
+  if (options_.policy.mode != ExecutionPolicy::Mode::kParallel) {
+    progress.answer = chain_->answer(slot);
+    progress.steps_per_sample = chain_->steps_per_sample();
+    progress.acceptance_rate = chain_->sampler().acceptance_rate();
+  } else {
+    progress.answer = registered_.at(slot).merged;
+    progress.steps_per_sample = options_.evaluator.steps_per_sample;
+    progress.acceptance_rate =
+        parallel_proposed_ == 0
+            ? 0.0
+            : static_cast<double>(parallel_accepted_) /
+                  static_cast<double>(parallel_proposed_);
+  }
+  progress.samples = progress.answer.num_samples();
+  return progress;
+}
+
+const std::unordered_map<std::string, size_t>& Session::subscriptions() const {
+  return subscriptions_;
+}
+
+}  // namespace api
+}  // namespace fgpdb

@@ -1,0 +1,240 @@
+// fgpdb::api::Session — the library's front door.
+//
+// The paper's architecture (§5) wires four pieces per query: a SQL plan, a
+// proposal kernel, an MCMC sampler, and an evaluator. Session owns that
+// wiring once per connection and lets N concurrent queries amortize one
+// sampler:
+//
+//   auto session = api::Session::Open({.database = &pdb,
+//                                      .proposal_factory = factory,
+//                                      .evaluator = {.steps_per_sample = 1000}});
+//   auto q1 = session->Register("SELECT STRING FROM TOKEN WHERE ...");
+//   auto q2 = session->Register(session->Prepare("SELECT COUNT(*) ..."));
+//   session->Run(500);                     // ONE chain maintains both views
+//   for (auto& [t, p] : q1.Snapshot().answer.Sorted()) ...
+//
+// Prepare() binds and caches plans by normalized SQL text; Register()
+// attaches a prepared query as a materialized view on the session's shared
+// chain (the PR 3 delta drain fans out through the union of all registered
+// views' table→scan subscriptions, so K queries cost one sampling pass plus
+// only the subtrees their deltas touch); Run() advances the chain;
+// ResultHandle::Snapshot() reads marginals, sample counts, and
+// acceptance-rate progress per query mid-run.
+//
+// A single ExecutionPolicy replaces the previously divergent
+// MaterializedQueryEvaluator / EvaluateParallel call paths (both remain as
+// internals):
+//
+//   serial    — one shared chain, delta-maintained views (Alg. 1)
+//   parallel  — num_chains COW-snapshot chains, each maintaining ALL
+//               registered views; per-query answers merged as chains finish
+//   naive     — one shared chain, full query per sample (Alg. 3 baseline)
+//
+// Thread-safety contract: a Session is externally synchronized — call it
+// from one thread at a time (the parallel policy uses worker threads
+// internally; the base database handed to Open() is never mutated by any
+// policy, each session samples its own copy-on-write snapshot).
+#ifndef FGPDB_API_SESSION_H_
+#define FGPDB_API_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pdb/parallel_evaluator.h"
+#include "pdb/probabilistic_database.h"
+#include "pdb/query_evaluator.h"
+#include "pdb/shared_chain.h"
+#include "ra/plan.h"
+
+namespace fgpdb {
+namespace api {
+
+struct ExecutionPolicy {
+  enum class Mode { kSerial, kParallel, kNaive };
+
+  Mode mode = Mode::kSerial;
+  /// kParallel only: chains, threading, and thread cap (0 = hardware).
+  size_t num_chains = 4;
+  bool use_threads = true;
+  size_t max_threads = 0;
+
+  static ExecutionPolicy Serial() { return {}; }
+  static ExecutionPolicy Parallel(size_t num_chains, size_t max_threads = 0) {
+    ExecutionPolicy p;
+    p.mode = Mode::kParallel;
+    p.num_chains = num_chains;
+    p.max_threads = max_threads;
+    return p;
+  }
+  static ExecutionPolicy Naive() {
+    ExecutionPolicy p;
+    p.mode = Mode::kNaive;
+    return p;
+  }
+};
+
+struct SessionOptions {
+  /// The base world: tables, bindings, and (unless `model` overrides it)
+  /// the factor-graph model. Borrowed; must outlive the session. Never
+  /// mutated — the session samples its own copy-on-write snapshot.
+  pdb::ProbabilisticDatabase* database = nullptr;
+
+  /// Optional model override; defaults to the base database's model.
+  const factor::Model* model = nullptr;
+
+  /// Produces a fresh proposal per chain (proposals hold chain-local
+  /// state). Required. Must be callable from worker threads under the
+  /// parallel policy.
+  pdb::ProposalFactory proposal_factory = {};
+
+  /// Chain schedule: thinning k, burn-in, seed, adaptive thinning.
+  pdb::EvaluatorOptions evaluator = {};
+
+  ExecutionPolicy policy = {};
+};
+
+/// A bound, immutable plan cached by the session. Shared: several
+/// registrations (or sessions over the same catalog shape) may hold it.
+class PreparedQuery {
+ public:
+  /// The cache key: whitespace-collapsed, keyword-case-normalized text.
+  const std::string& normalized_sql() const { return normalized_sql_; }
+  /// The text originally handed to Prepare().
+  const std::string& sql() const { return sql_; }
+  const ra::PlanNode& plan() const { return *plan_; }
+
+ private:
+  friend class Session;
+  PreparedQuery(std::string normalized, std::string sql, ra::PlanPtr plan)
+      : normalized_sql_(std::move(normalized)),
+        sql_(std::move(sql)),
+        plan_(std::move(plan)) {}
+
+  std::string normalized_sql_;
+  std::string sql_;
+  ra::PlanPtr plan_;
+};
+
+using PreparedQueryPtr = std::shared_ptr<const PreparedQuery>;
+
+/// A point-in-time copy of one registered query's progress.
+struct QueryProgress {
+  pdb::QueryAnswer answer;
+  /// Samples folded into `answer` so far (across all chains).
+  uint64_t samples = 0;
+  /// Current thinning interval (serial/naive; adaptive mode moves it).
+  uint64_t steps_per_sample = 0;
+  /// Acceptance rate of the chain(s) feeding this query.
+  double acceptance_rate = 0.0;
+};
+
+class Session;
+
+/// Lightweight reference to a registered query. Valid while the session is
+/// alive; copyable.
+class ResultHandle {
+ public:
+  /// Stable copy of the query's progress — callable between Run() calls.
+  QueryProgress Snapshot() const;
+
+  const PreparedQueryPtr& query() const;
+  size_t slot() const { return slot_; }
+
+ private:
+  friend class Session;
+  ResultHandle(Session* session, size_t slot)
+      : session_(session), slot_(slot) {}
+
+  Session* session_;
+  size_t slot_;
+};
+
+class Session {
+ public:
+  /// Opens a session over `options.database`: snapshots the base world,
+  /// wires the model, and prepares the chain described by the policy.
+  static std::unique_ptr<Session> Open(SessionOptions options);
+
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and binds `sql` against the session's catalog. Results are
+  /// cached by normalized text: preparing the same query twice returns the
+  /// same PreparedQuery instance.
+  PreparedQueryPtr Prepare(const std::string& sql);
+
+  /// Attaches a prepared query as a maintained view on the session's
+  /// shared chain(s). Registration is cheap and allowed mid-run; a query
+  /// registered after sampling started counts samples from that point.
+  ResultHandle Register(const PreparedQueryPtr& prepared);
+  ResultHandle Register(const std::string& sql) {
+    return Register(Prepare(sql));
+  }
+
+  /// Advances the session by `samples` collected samples per registered
+  /// query: one shared chain under serial/naive, `num_chains` chains each
+  /// maintaining every view under parallel (merged as they finish).
+  void Run(uint64_t samples);
+
+  size_t num_registered() const { return registered_.size(); }
+  const ExecutionPolicy& policy() const { return options_.policy; }
+
+  /// Prepared-statement cache size (distinct normalized texts).
+  size_t prepared_cache_size() const { return prepared_cache_.size(); }
+
+  /// Session-level union subscription map: base table → scan count across
+  /// every registered view (serial/naive policies; parallel chains build
+  /// their own per-chain copies).
+  const std::unordered_map<std::string, size_t>& subscriptions() const;
+
+  /// The cache key for `sql`: lexer-backed normalization. Whitespace
+  /// between tokens collapses to single spaces, keywords uppercase, and
+  /// `!=` canonicalizes to `<>`; identifiers and string literals are
+  /// preserved verbatim (identifier resolution against the catalog is
+  /// case-sensitive). Two texts share a cache entry exactly when they
+  /// tokenize identically.
+  static std::string NormalizeSql(const std::string& sql);
+
+ private:
+  friend class ResultHandle;
+
+  explicit Session(SessionOptions options);
+
+  struct Registered {
+    PreparedQueryPtr query;
+    /// Merged per-query answer (parallel policy; serial answers live in
+    /// the shared-chain evaluator).
+    pdb::QueryAnswer merged;
+  };
+
+  /// Lazily builds the serial/naive shared-chain evaluator.
+  void EnsureChain();
+  QueryProgress SnapshotSlot(size_t slot) const;
+
+  SessionOptions options_;
+  /// The session's private copy-on-write world (serial/naive chains run on
+  /// it; parallel chains snapshot the base again per Run).
+  std::unique_ptr<pdb::ProbabilisticDatabase> world_;
+  std::unique_ptr<infer::Proposal> proposal_;
+  std::unique_ptr<pdb::SharedChainEvaluator> chain_;
+
+  std::unordered_map<std::string, PreparedQueryPtr> prepared_cache_;
+  std::vector<Registered> registered_;
+  /// Union of every registered view's table→scan routes (ScannedTables
+  /// counts; identical to the per-view subscription maps summed).
+  std::unordered_map<std::string, size_t> subscriptions_;
+
+  /// Parallel policy bookkeeping: Run() epochs get distinct seed salts so
+  /// successive calls sample fresh, decorrelated chain batches.
+  uint64_t parallel_epoch_ = 0;
+  uint64_t parallel_proposed_ = 0;
+  uint64_t parallel_accepted_ = 0;
+};
+
+}  // namespace api
+}  // namespace fgpdb
+
+#endif  // FGPDB_API_SESSION_H_

@@ -1,8 +1,10 @@
 #include "infer/metropolis_hastings.h"
 
 #include <cmath>
+#include <optional>
 
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace fgpdb {
 namespace infer {
@@ -16,10 +18,27 @@ MetropolisHastings::MetropolisHastings(const factor::Model& model,
 }
 
 bool MetropolisHastings::Step() {
+  // Phase timing is opt-in (set_phase_totals); the detached path is the
+  // untimed template instantiation — no clock reads at all.
+  return phase_totals_ != nullptr ? StepImpl<true>() : StepImpl<false>();
+}
+
+template <bool kTimed>
+bool MetropolisHastings::StepImpl() {
+  std::optional<Stopwatch> phase_timer;
+  if constexpr (kTimed) {
+    phase_timer.emplace();
+    ++phase_totals_->steps;
+  }
+
   ++num_proposed_;
   double log_proposal_ratio = 0.0;
   const factor::Change change =
       proposal_->Propose(*world_, rng_, &log_proposal_ratio);
+  if constexpr (kTimed) {
+    phase_totals_->propose_seconds += phase_timer->ElapsedSeconds();
+    phase_timer->Reset();
+  }
   if (change.empty()) {
     // Self-transition: counted as accepted (the chain stays put).
     ++num_accepted_;
@@ -29,6 +48,10 @@ bool MetropolisHastings::Step() {
   const double log_alpha = log_model_ratio + log_proposal_ratio;
   bool accept = log_alpha >= 0.0;
   if (!accept) accept = rng_.Uniform() < std::exp(log_alpha);
+  if constexpr (kTimed) {
+    phase_totals_->score_seconds += phase_timer->ElapsedSeconds();
+    phase_timer->Reset();
+  }
   if (!accept) return false;
 
   applied_scratch_.clear();
@@ -42,8 +65,15 @@ bool MetropolisHastings::Step() {
                                }),
                 applied.end());
   ++num_accepted_;
+  if constexpr (kTimed) {
+    phase_totals_->apply_seconds += phase_timer->ElapsedSeconds();
+    phase_timer->Reset();
+  }
   if (!applied.empty()) {
     for (const auto& listener : listeners_) listener(applied);
+  }
+  if constexpr (kTimed) {
+    phase_totals_->mirror_seconds += phase_timer->ElapsedSeconds();
   }
   return true;
 }

@@ -21,6 +21,29 @@
 namespace fgpdb {
 namespace infer {
 
+/// Cumulative wall-clock split of Step() into its four phases — the
+/// hot-path profiling hook (ROADMAP: "breaks a step into propose / score /
+/// apply / mirror and attack the biggest slice"):
+///
+///   propose — drawing w' ~ q(·|w) from the proposal kernel
+///   score   — the local factor delta (Appendix 9.2) + the acceptance test
+///   apply   — writing an accepted change into the World
+///   mirror  — listener notification: table mirroring + delta accumulation
+///
+/// Rejected steps contribute to propose/score only; empty proposals
+/// (self-transitions) to propose only.
+struct StepPhaseTotals {
+  uint64_t steps = 0;
+  double propose_seconds = 0.0;
+  double score_seconds = 0.0;
+  double apply_seconds = 0.0;
+  double mirror_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return propose_seconds + score_seconds + apply_seconds + mirror_seconds;
+  }
+};
+
 class MetropolisHastings {
  public:
   /// Listener invoked after an accepted change is applied to the world.
@@ -55,15 +78,27 @@ class MetropolisHastings {
   factor::World& world() { return *world_; }
   Rng& rng() { return rng_; }
 
+  /// Attaches a per-phase timing accumulator (nullptr detaches; the
+  /// default). While attached, every Step() adds its phase wall-clock to
+  /// `totals` — two clock reads per phase, so leave it off outside
+  /// profiling runs. `totals` must outlive the attachment.
+  void set_phase_totals(StepPhaseTotals* totals) { phase_totals_ = totals; }
+
  private:
   const factor::Model& model_;
   factor::World* world_;
   Proposal* proposal_;
   Rng rng_;
   std::vector<Listener> listeners_;
+  /// Step() body; kTimed compiles the phase clock reads in or out, so the
+  /// detached (default) path pays nothing for the profiling hook.
+  template <bool kTimed>
+  bool StepImpl();
+
   std::vector<factor::AppliedAssignment> applied_scratch_;
   uint64_t num_proposed_ = 0;
   uint64_t num_accepted_ = 0;
+  StepPhaseTotals* phase_totals_ = nullptr;
 };
 
 }  // namespace infer

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "pdb/shared_chain.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -11,47 +12,75 @@ namespace pdb {
 
 namespace {
 
+// Per-chain result: the chain's answers (index-aligned with the plans) and
+// its sampler counters.
+struct ChainResult {
+  std::vector<QueryAnswer> answers;
+  uint64_t proposed = 0;
+  uint64_t accepted = 0;
+};
+
 // Builds, runs, and tears down one chain: a copy-on-write snapshot of the
-// base world, a fresh proposal, and an evaluator. All chain state lives and
-// dies inside this call, so a pool running T worker threads holds at most T
+// base world, a fresh proposal, and a shared-chain evaluator maintaining
+// every plan's view on the one sampler. All chain state lives and dies
+// inside this call, so a pool running T worker threads holds at most T
 // worlds at a time no matter how many chains are requested.
 //
-// Materialized chains each compile their own view, which matters for the
-// routed delta pipeline: the subscription map, routing masks, reusable
+// Materialized chains each compile their own views, which matters for the
+// routed delta pipeline: the subscription maps, routing masks, reusable
 // operator buffers, and the TupleArena are per-view state owned by exactly
 // one chain — nothing in the delta path is shared across threads, so chains
 // apply deltas without synchronization.
-QueryAnswer RunChain(const ProbabilisticDatabase& pdb, const ra::PlanNode& plan,
+ChainResult RunChain(const ProbabilisticDatabase& pdb,
+                     const std::vector<const ra::PlanNode*>& plans,
                      const ProposalFactory& make_proposal,
-                     const ParallelOptions& options, size_t chain_index) {
+                     const ParallelOptions& options, size_t chain_index,
+                     uint64_t seed_salt) {
   std::unique_ptr<ProbabilisticDatabase> world = pdb.Snapshot();
   std::unique_ptr<infer::Proposal> proposal = make_proposal(*world);
   EvaluatorOptions chain_options = options.chain_options;
   // Decorrelate chains: each gets its own seed stream, a function of the
-  // chain index alone so scheduling cannot change results.
-  chain_options.seed =
-      options.chain_options.seed + 0x9e3779b97f4a7c15ULL * (chain_index + 1);
-  std::unique_ptr<QueryEvaluator> evaluator;
-  if (options.materialized) {
-    evaluator = std::make_unique<MaterializedQueryEvaluator>(
-        world.get(), proposal.get(), &plan, chain_options);
-  } else {
-    evaluator = std::make_unique<NaiveQueryEvaluator>(
-        world.get(), proposal.get(), &plan, chain_options);
+  // chain index (and the caller's salt) alone so scheduling cannot change
+  // results.
+  chain_options.seed = options.chain_options.seed + seed_salt +
+                       0x9e3779b97f4a7c15ULL * (chain_index + 1);
+  SharedChainEvaluator evaluator(world.get(), proposal.get(), chain_options,
+                                 options.materialized);
+  for (const ra::PlanNode* plan : plans) evaluator.AddQuery(plan);
+  evaluator.Run(options.samples_per_chain);
+  ChainResult result;
+  result.answers.reserve(plans.size());
+  for (size_t q = 0; q < plans.size(); ++q) {
+    result.answers.push_back(evaluator.answer(q));
   }
-  evaluator->Run(options.samples_per_chain);
-  return evaluator->answer();
+  result.proposed = evaluator.sampler().num_proposed();
+  result.accepted = evaluator.sampler().num_accepted();
+  return result;
 }
 
 }  // namespace
 
-QueryAnswer EvaluateParallel(const ProbabilisticDatabase& pdb,
-                             const ra::PlanNode& plan,
-                             const ProposalFactory& make_proposal,
-                             const ParallelOptions& options) {
+MultiQueryAnswer EvaluateParallelMulti(
+    const ProbabilisticDatabase& pdb,
+    const std::vector<const ra::PlanNode*>& plans,
+    const ProposalFactory& make_proposal, const ParallelOptions& options,
+    uint64_t seed_salt) {
   FGPDB_CHECK_GT(options.num_chains, 0u);
+  FGPDB_CHECK(!plans.empty());
 
-  QueryAnswer merged;
+  MultiQueryAnswer merged;
+  merged.answers.resize(plans.size());
+  auto fold = [&merged](const ChainResult& chain) {
+    // Streaming merge: fold a chain in as soon as it finishes, while other
+    // chains are still sampling. Counts are integers, so the merge order
+    // cannot change the result.
+    for (size_t q = 0; q < chain.answers.size(); ++q) {
+      merged.answers[q].Merge(chain.answers[q]);
+    }
+    merged.total_proposed += chain.proposed;
+    merged.total_accepted += chain.accepted;
+  };
+
   if (options.use_threads && options.num_chains > 1) {
     const size_t num_threads =
         options.max_threads > 0
@@ -61,22 +90,28 @@ QueryAnswer EvaluateParallel(const ProbabilisticDatabase& pdb,
     ThreadPool pool(num_threads);
     for (size_t b = 0; b < options.num_chains; ++b) {
       pool.Submit([&, b] {
-        // Streaming merge: fold this chain in as soon as it finishes, while
-        // other chains are still sampling. Counts are integers, so the
-        // merge order cannot change the result.
-        const QueryAnswer answer =
-            RunChain(pdb, plan, make_proposal, options, b);
+        const ChainResult chain =
+            RunChain(pdb, plans, make_proposal, options, b, seed_salt);
         std::lock_guard<std::mutex> lock(merge_mu);
-        merged.Merge(answer);
+        fold(chain);
       });
     }
     pool.Wait();
   } else {
     for (size_t b = 0; b < options.num_chains; ++b) {
-      merged.Merge(RunChain(pdb, plan, make_proposal, options, b));
+      fold(RunChain(pdb, plans, make_proposal, options, b, seed_salt));
     }
   }
   return merged;
+}
+
+QueryAnswer EvaluateParallel(const ProbabilisticDatabase& pdb,
+                             const ra::PlanNode& plan,
+                             const ProposalFactory& make_proposal,
+                             const ParallelOptions& options) {
+  MultiQueryAnswer merged =
+      EvaluateParallelMulti(pdb, {&plan}, make_proposal, options);
+  return std::move(merged.answers[0]);
 }
 
 }  // namespace pdb

@@ -57,6 +57,37 @@ QueryAnswer EvaluateParallel(const ProbabilisticDatabase& pdb,
                              const ProposalFactory& make_proposal,
                              const ParallelOptions& options);
 
+/// Result of a multi-query parallel evaluation: one merged answer per plan
+/// (index-aligned with the input), plus aggregate chain statistics for
+/// progress reporting.
+struct MultiQueryAnswer {
+  std::vector<QueryAnswer> answers;
+  uint64_t total_proposed = 0;
+  uint64_t total_accepted = 0;
+
+  double acceptance_rate() const {
+    return total_proposed == 0
+               ? 0.0
+               : static_cast<double>(total_accepted) /
+                     static_cast<double>(total_proposed);
+  }
+};
+
+/// The multi-query form of EvaluateParallel — the §4.2 economy extended to
+/// §5.4: every chain maintains ALL the plans' views on its single sampler
+/// (one delta drain fanned out per interval), so K queries over B chains
+/// cost B sampling passes instead of K·B. Per-plan merged answers are
+/// bitwise-identical to K separate EvaluateParallel calls with the same
+/// options, because the chain trajectory never depends on the registered
+/// queries. `plans` must be non-empty; `seed_salt` offsets every chain's
+/// seed (distinct salts give independent chain batches, e.g. across
+/// successive Session::Run epochs).
+MultiQueryAnswer EvaluateParallelMulti(
+    const ProbabilisticDatabase& pdb,
+    const std::vector<const ra::PlanNode*>& plans,
+    const ProposalFactory& make_proposal, const ParallelOptions& options,
+    uint64_t seed_salt = 0);
+
 }  // namespace pdb
 }  // namespace fgpdb
 

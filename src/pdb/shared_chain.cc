@@ -1,0 +1,166 @@
+#include "pdb/shared_chain.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ra/executor.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fgpdb {
+namespace pdb {
+
+namespace {
+
+std::vector<Tuple> DistinctTuples(const std::vector<Tuple>& bag) {
+  std::unordered_set<Tuple, TupleHasher> seen;
+  std::vector<Tuple> out;
+  for (const Tuple& t : bag) {
+    if (seen.insert(t).second) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+SharedChainEvaluator::SharedChainEvaluator(ProbabilisticDatabase* pdb,
+                                           infer::Proposal* proposal,
+                                           EvaluatorOptions options,
+                                           bool materialized)
+    : pdb_(pdb),
+      options_(options),
+      materialized_(materialized),
+      steps_per_sample_(options.steps_per_sample) {
+  FGPDB_CHECK(pdb_ != nullptr);
+  sampler_ = pdb_->MakeSampler(proposal, options_.seed);
+}
+
+size_t SharedChainEvaluator::AddQuery(const ra::PlanNode* plan) {
+  FGPDB_CHECK(plan != nullptr);
+  Slot slot;
+  slot.plan = plan;
+  if (materialized_) {
+    slot.view = std::make_unique<view::MaterializedView>(*plan);
+    for (const auto& [table, scans] : slot.view->subscriptions()) {
+      subscriptions_[table] += scans;
+    }
+    if (initialized_) {
+      // Bring the chain's existing views current (the accumulator may hold
+      // deltas from steps taken since the last drain), then evaluate the
+      // new view against the same world. No sample is observed here —
+      // registration never advances any query's marginals.
+      pdb_->TakeDeltas(&delta_buf_);
+      for (Slot& existing : slots_) existing.view->Apply(delta_buf_);
+      slot.view->Initialize(pdb_->db());
+    }
+  }
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void SharedChainEvaluator::Initialize() {
+  FGPDB_CHECK(!initialized_);
+  sampler_->Run(options_.burn_in);
+  pdb_->DiscardDeltas();
+  if (materialized_) {
+    // The one exhaustive query per view over the initial world (Alg. 1
+    // line 2) — K queries share the burn-in above.
+    for (Slot& slot : slots_) slot.view->Initialize(pdb_->db());
+  }
+  initialized_ = true;
+}
+
+bool SharedChainEvaluator::ViewTouched(const view::MaterializedView& view,
+                                       const view::DeltaSet& deltas) {
+  bool touched = false;
+  deltas.ForEachTable([&](const std::string& table,
+                          const view::DeltaMultiset& delta) {
+    if (touched || delta.empty()) return;
+    if (view.subscriptions().count(table) > 0) touched = true;
+  });
+  return touched;
+}
+
+void SharedChainEvaluator::ObserveSample(Slot* slot) {
+  if (materialized_) {
+    std::vector<Tuple> distinct;
+    distinct.reserve(slot->view->contents().distinct_size());
+    slot->view->contents().ForEach(
+        [&](const Tuple& t, int64_t) { distinct.push_back(t); });
+    slot->answer.ObserveSampleContaining(distinct);
+    return;
+  }
+  slot->answer.ObserveSampleContaining(
+      DistinctTuples(ra::Execute(*slot->plan, pdb_->db())));
+}
+
+void SharedChainEvaluator::DrawSample() {
+  FGPDB_CHECK(initialized_);
+  Stopwatch walk_timer;
+  sampler_->Run(steps_per_sample_);
+  const double walk_seconds = walk_timer.ElapsedSeconds();
+
+  if (!materialized_) {
+    pdb_->DiscardDeltas();
+    for (Slot& slot : slots_) ObserveSample(&slot);
+    return;
+  }
+
+  // One drain, K views: the accumulator expands to per-table Δ−/Δ+ once
+  // and the same DeltaSet is routed through every registered view. A view
+  // none of whose subscribed tables were touched is skipped without being
+  // entered at all.
+  Stopwatch apply_timer;
+  pdb_->TakeDeltas(&delta_buf_);
+  for (Slot& slot : slots_) {
+    if (ViewTouched(*slot.view, delta_buf_)) {
+      slot.view->Apply(delta_buf_);
+    } else {
+      ++views_skipped_;
+    }
+  }
+  last_apply_seconds_ = apply_timer.ElapsedSeconds();
+  for (Slot& slot : slots_) ObserveSample(&slot);
+
+  if (options_.adaptive_thinning) {
+    // Same multiplicative controller as the single-query evaluator, fed by
+    // the fanned-out apply cost: halve k when the delta path is cheap
+    // relative to walking, double it when expensive.
+    const double total = walk_seconds + last_apply_seconds_;
+    if (total > 0.0) {
+      const double fraction = last_apply_seconds_ / total;
+      if (fraction < options_.target_eval_fraction / 2.0) {
+        steps_per_sample_ = std::max(options_.min_steps_per_sample,
+                                     steps_per_sample_ / 2);
+      } else if (fraction > options_.target_eval_fraction * 2.0) {
+        steps_per_sample_ = std::min(options_.max_steps_per_sample,
+                                     steps_per_sample_ * 2);
+      }
+    }
+  }
+}
+
+void SharedChainEvaluator::Run(uint64_t n) {
+  if (!initialized_) Initialize();
+  for (uint64_t i = 0; i < n; ++i) DrawSample();
+}
+
+std::vector<Tuple> SharedChainEvaluator::CurrentAnswerSet(size_t slot) const {
+  const Slot& s = slots_.at(slot);
+  if (materialized_) {
+    std::vector<Tuple> distinct;
+    s.view->contents().ForEach(
+        [&](const Tuple& t, int64_t) { distinct.push_back(t); });
+    return distinct;
+  }
+  return DistinctTuples(ra::Execute(*s.plan, pdb_->db()));
+}
+
+const view::MaterializedView& SharedChainEvaluator::materialized_view(
+    size_t slot) const {
+  FGPDB_CHECK(materialized_);
+  return *slots_.at(slot).view;
+}
+
+}  // namespace pdb
+}  // namespace fgpdb

@@ -1,0 +1,118 @@
+// Multi-query evaluation on ONE MCMC chain — the paper's central economy.
+//
+// One chain's delta stream can maintain many materialized views at once
+// (§4.2): the sampler walks k steps, the row-granular accumulator is
+// drained ONCE, and the resulting DeltaSet fans out to every registered
+// view. K queries therefore cost one sampling pass plus only the subtrees
+// their deltas touch — the per-view subscription maps (PR 3) mean a query
+// whose base tables were untouched this round is skipped outright via the
+// chain-level union subscription map.
+//
+// SharedChainEvaluator generalizes MaterializedQueryEvaluator /
+// NaiveQueryEvaluator (query_evaluator.h) from one plan to a set of plans;
+// with a single query its per-sample schedule — and therefore its answer —
+// is bitwise-identical to the single-query evaluators at a fixed seed. It
+// is the engine under both api::Session (the public front door) and the
+// parallel evaluator's per-chain bodies.
+#ifndef FGPDB_PDB_SHARED_CHAIN_H_
+#define FGPDB_PDB_SHARED_CHAIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pdb/query_evaluator.h"
+
+namespace fgpdb {
+namespace pdb {
+
+class SharedChainEvaluator {
+ public:
+  /// `materialized` selects Alg. 1 (delta-maintained views, the default)
+  /// or Alg. 3 (full query per sample) for every registered query.
+  SharedChainEvaluator(ProbabilisticDatabase* pdb, infer::Proposal* proposal,
+                       EvaluatorOptions options, bool materialized = true);
+
+  /// Registers a query; returns its slot index. Callable before or after
+  /// Initialize(): a view registered mid-run is brought current against
+  /// the chain's world (pending deltas are folded into the existing views
+  /// first, without observing a sample) and starts counting samples from
+  /// its registration.
+  size_t AddQuery(const ra::PlanNode* plan);
+
+  /// Runs burn-in and the one exhaustive evaluation per registered view.
+  void Initialize();
+  bool initialized() const { return initialized_; }
+
+  /// Advances the chain k steps, drains the delta accumulator once, fans
+  /// the DeltaSet out to every subscribed view, and folds each view's
+  /// answer set into its marginal counts.
+  void DrawSample();
+
+  /// Initialize (if needed) plus `n` samples.
+  void Run(uint64_t n);
+
+  size_t num_queries() const { return slots_.size(); }
+  const QueryAnswer& answer(size_t slot) const { return slots_.at(slot).answer; }
+
+  /// Distinct tuples in the current world's answer for `slot`.
+  std::vector<Tuple> CurrentAnswerSet(size_t slot) const;
+
+  /// The maintained view for `slot` (materialized mode only).
+  const view::MaterializedView& materialized_view(size_t slot) const;
+
+  infer::MetropolisHastings& sampler() { return *sampler_; }
+  const infer::MetropolisHastings& sampler() const { return *sampler_; }
+
+  /// Current thinning interval (changes over time under adaptive mode).
+  uint64_t steps_per_sample() const { return steps_per_sample_; }
+
+  /// Wall-clock seconds the last DrawSample spent on the routed delta path
+  /// (TakeDeltas + Apply across every view) — what adaptive thinning
+  /// steers by.
+  double last_apply_seconds() const { return last_apply_seconds_; }
+
+  /// Chain-level union subscription map: base table → number of scan
+  /// operators across ALL registered views reading it. A delta for a table
+  /// absent here is invisible to every registered query.
+  const std::unordered_map<std::string, size_t>& subscriptions() const {
+    return subscriptions_;
+  }
+
+  /// Views skipped entirely (no subscribed table touched) across all
+  /// DrawSample rounds — the chain-level routing win.
+  uint64_t views_skipped() const { return views_skipped_; }
+
+ private:
+  struct Slot {
+    const ra::PlanNode* plan = nullptr;
+    std::unique_ptr<view::MaterializedView> view;  // null in naive mode
+    QueryAnswer answer;
+  };
+
+  /// Folds `slot`'s current answer set into its marginal counts.
+  void ObserveSample(Slot* slot);
+  /// True if any table with a non-empty delta in `deltas` is subscribed to
+  /// by `view`.
+  static bool ViewTouched(const view::MaterializedView& view,
+                          const view::DeltaSet& deltas);
+
+  ProbabilisticDatabase* pdb_;
+  EvaluatorOptions options_;
+  const bool materialized_;
+  std::vector<Slot> slots_;
+  std::unique_ptr<infer::MetropolisHastings> sampler_;
+  uint64_t steps_per_sample_;
+  // Reused every interval: TakeDeltas recycles its table buckets.
+  view::DeltaSet delta_buf_;
+  double last_apply_seconds_ = 0.0;
+  std::unordered_map<std::string, size_t> subscriptions_;
+  uint64_t views_skipped_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace pdb
+}  // namespace fgpdb
+
+#endif  // FGPDB_PDB_SHARED_CHAIN_H_

@@ -50,6 +50,35 @@ std::vector<Tuple> ExecuteJoin(const JoinNode& node, const Database& db) {
       out.push_back(std::move(joined));
     }
   };
+  if (!node.alternatives().empty()) {
+    // Disjunctive equi-join: one hash index per alternative, probed in turn.
+    // A right tuple matching through several alternatives pairs with the
+    // probe once, so matches are deduped by bag element (address) per probe.
+    std::vector<std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHasher>>
+        builds(node.alternatives().size());
+    for (size_t a = 0; a < node.alternatives().size(); ++a) {
+      builds[a].reserve(right.size());
+      for (const auto& r : right) {
+        builds[a][r.Project(node.alternatives()[a].right_keys)].push_back(&r);
+      }
+    }
+    std::vector<const Tuple*> matches;
+    for (const auto& l : left) {
+      matches.clear();
+      for (size_t a = 0; a < node.alternatives().size(); ++a) {
+        const auto it =
+            builds[a].find(l.Project(node.alternatives()[a].left_keys));
+        if (it == builds[a].end()) continue;
+        for (const Tuple* r : it->second) {
+          if (std::find(matches.begin(), matches.end(), r) == matches.end()) {
+            matches.push_back(r);
+          }
+        }
+      }
+      for (const Tuple* r : matches) emit(l, *r);
+    }
+    return out;
+  }
   if (node.left_keys().empty()) {
     // Cartesian product with optional residual filter.
     for (const auto& l : left) {

@@ -106,14 +106,44 @@ JoinNode::JoinNode(PlanPtr left, PlanPtr right, std::vector<size_t> left_keys,
       ConcatSchemas(child(0).output_schema(), child(1).output_schema()));
 }
 
-std::string JoinNode::Describe() const {
-  std::vector<std::string> conds;
-  for (size_t i = 0; i < left_keys_.size(); ++i) {
-    conds.push_back("L$" + std::to_string(left_keys_[i]) + "=R$" +
-                    std::to_string(right_keys_[i]));
+JoinNode::JoinNode(PlanPtr left, PlanPtr right,
+                   std::vector<JoinKeyAlternative> alternatives,
+                   ExprPtr residual)
+    : PlanNode(PlanKind::kJoin, Two(std::move(left), std::move(right))),
+      alternatives_(std::move(alternatives)),
+      residual_(std::move(residual)) {
+  FGPDB_CHECK(!alternatives_.empty());
+  for (const auto& alt : alternatives_) {
+    FGPDB_CHECK(!alt.left_keys.empty());
+    FGPDB_CHECK_EQ(alt.left_keys.size(), alt.right_keys.size());
   }
+  set_output_schema(
+      ConcatSchemas(child(0).output_schema(), child(1).output_schema()));
+}
+
+std::string JoinNode::Describe() const {
+  auto render_pairs = [](const std::vector<size_t>& lk,
+                         const std::vector<size_t>& rk) {
+    std::vector<std::string> conds;
+    for (size_t i = 0; i < lk.size(); ++i) {
+      conds.push_back("L$" + std::to_string(lk[i]) + "=R$" +
+                      std::to_string(rk[i]));
+    }
+    return Join(conds, " AND ");
+  };
+  if (!alternatives_.empty()) {
+    std::vector<std::string> alts;
+    for (const auto& alt : alternatives_) {
+      alts.push_back("(" + render_pairs(alt.left_keys, alt.right_keys) + ")");
+    }
+    std::string out = "HashJoinAny(" + Join(alts, " OR ");
+    if (residual_ != nullptr) out += " AND " + residual_->ToString();
+    out += ")";
+    return out;
+  }
+  std::string conds = render_pairs(left_keys_, right_keys_);
   std::string out = left_keys_.empty() ? "CrossProduct" : "HashJoin";
-  out += "(" + Join(conds, " AND ");
+  out += "(" + conds;
   if (residual_ != nullptr) {
     if (!conds.empty()) out += " AND ";
     out += residual_->ToString();

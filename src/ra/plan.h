@@ -118,16 +118,38 @@ class ProjectNode final : public PlanNode {
   std::vector<ExprPtr> outputs_;
 };
 
+/// One disjunct of a disjunctive equi-join condition: the pair lists are
+/// conjunctive within the alternative (all pairs must match), alternatives
+/// are OR-ed across the list.
+struct JoinKeyAlternative {
+  std::vector<size_t> left_keys;
+  std::vector<size_t> right_keys;
+};
+
 /// ⋈: equi-join on (left_keys[i] == right_keys[i]) plus an optional residual
 /// predicate over the concatenated tuple. Empty key lists give a Cartesian
 /// product (paper §4.2 rewrites products and σ to build joins).
+///
+/// The disjunctive form joins on an OR of equality alternatives (the SQL
+/// binder extracts `a.k = b.k OR a.k = b.j` into one): a left/right pair
+/// matches when *any* alternative's key pairs all agree. Each alternative is
+/// hash-routable on its own, so both the executor and the incremental engine
+/// probe per-alternative indexes instead of degenerating to a filtered
+/// Cartesian product. When alternatives are present, left_keys/right_keys
+/// are empty and unused.
 class JoinNode final : public PlanNode {
  public:
   JoinNode(PlanPtr left, PlanPtr right, std::vector<size_t> left_keys,
            std::vector<size_t> right_keys, ExprPtr residual);
+  JoinNode(PlanPtr left, PlanPtr right,
+           std::vector<JoinKeyAlternative> alternatives, ExprPtr residual);
 
   const std::vector<size_t>& left_keys() const { return left_keys_; }
   const std::vector<size_t>& right_keys() const { return right_keys_; }
+  /// Disjunctive key alternatives; empty for plain equi-/cross joins.
+  const std::vector<JoinKeyAlternative>& alternatives() const {
+    return alternatives_;
+  }
   const Expr* residual() const { return residual_.get(); }
 
  protected:
@@ -136,6 +158,7 @@ class JoinNode final : public PlanNode {
  private:
   std::vector<size_t> left_keys_;
   std::vector<size_t> right_keys_;
+  std::vector<JoinKeyAlternative> alternatives_;
   ExprPtr residual_;
 };
 

@@ -133,6 +133,16 @@ void SplitConjuncts(const AstExpr& ast, std::vector<const AstExpr*>& out) {
   out.push_back(&ast);
 }
 
+// Splits an OR-tree into disjuncts (borrowed pointers into the AST).
+void SplitDisjuncts(const AstExpr& ast, std::vector<const AstExpr*>& out) {
+  if (ast.kind == AstKind::kLogical && ast.logical_op == ra::LogicalOp::kOr) {
+    SplitDisjuncts(*ast.lhs, out);
+    SplitDisjuncts(*ast.rhs, out);
+    return;
+  }
+  out.push_back(&ast);
+}
+
 // Gathers all aggregate calls in an expression tree.
 void CollectAggregates(const AstExpr& ast, std::vector<const AstExpr*>& out) {
   if (ast.kind == AstKind::kAggregate) {
@@ -251,7 +261,115 @@ void DedupeNames(std::vector<std::string>* names) {
   }
 }
 
+// --- Expression simplification ---------------------------------------------
+
+bool IsLiteral(const AstExprPtr& e) {
+  return e != nullptr && e->kind == AstKind::kLiteral;
+}
+
+// Evaluates a node whose operands are all literals by building the exact
+// ra:: expression the binder would lower it to and running it on an empty
+// tuple — folding therefore shares the runtime's NULL collapsing, numeric
+// coercion, and 0/1 boolean rendering bit for bit.
+Value FoldAgainstRuntime(const AstExpr& e) {
+  const Tuple empty;
+  switch (e.kind) {
+    case AstKind::kCompare:
+      return ra::Comparison(e.compare_op, ra::Lit(e.lhs->literal),
+                            ra::Lit(e.rhs->literal))
+          .Eval(empty);
+    case AstKind::kArithmetic:
+      return ra::Arithmetic(e.arithmetic_op, ra::Lit(e.lhs->literal),
+                            ra::Lit(e.rhs->literal))
+          .Eval(empty);
+    case AstKind::kLogical:
+      return ra::Logical(e.logical_op, ra::Lit(e.lhs->literal),
+                         e.rhs != nullptr ? ra::Lit(e.rhs->literal) : nullptr)
+          .Eval(empty);
+    case AstKind::kIsNull:
+      return ra::IsNull(ra::Lit(e.lhs->literal), e.negated).Eval(empty);
+    case AstKind::kLike:
+      return ra::Like(ra::Lit(e.lhs->literal), e.like_pattern).Eval(empty);
+    default:
+      FGPDB_FATAL() << "not foldable: " << e.ToString();
+      return Value::Null();
+  }
+}
+
+// Truth value of a literal under the runtime's EvalBool rules.
+bool LiteralTruth(const Value& v) {
+  return ra::Constant(v).EvalBool(Tuple{});
+}
+
 }  // namespace
+
+AstExprPtr SimplifyExpr(AstExprPtr expr, bool boolean_context) {
+  if (expr == nullptr) return nullptr;
+  switch (expr->kind) {
+    case AstKind::kColumn:
+    case AstKind::kLiteral:
+      return expr;
+    case AstKind::kAggregate:
+      // The argument of COUNT_IF is a predicate; other aggregates consume
+      // the argument's value.
+      if (expr->agg_argument != nullptr) {
+        expr->agg_argument = SimplifyExpr(std::move(expr->agg_argument),
+                                          expr->agg_func == AggFunc::kCountIf);
+      }
+      return expr;
+    case AstKind::kCompare:
+    case AstKind::kArithmetic:
+      expr->lhs = SimplifyExpr(std::move(expr->lhs), false);
+      expr->rhs = SimplifyExpr(std::move(expr->rhs), false);
+      if (IsLiteral(expr->lhs) && IsLiteral(expr->rhs)) {
+        return MakeLiteral(FoldAgainstRuntime(*expr));
+      }
+      return expr;
+    case AstKind::kIsNull:
+      expr->lhs = SimplifyExpr(std::move(expr->lhs), false);
+      if (IsLiteral(expr->lhs)) return MakeLiteral(FoldAgainstRuntime(*expr));
+      return expr;
+    case AstKind::kLike:
+      expr->lhs = SimplifyExpr(std::move(expr->lhs), false);
+      if (IsLiteral(expr->lhs)) return MakeLiteral(FoldAgainstRuntime(*expr));
+      return expr;
+    case AstKind::kLogical: {
+      // Operands of AND/OR/NOT only ever contribute their truth value
+      // (Logical::Eval runs EvalBool on them), so they are always in
+      // boolean context regardless of where this node sits.
+      expr->lhs = SimplifyExpr(std::move(expr->lhs), true);
+      if (expr->rhs != nullptr) {
+        expr->rhs = SimplifyExpr(std::move(expr->rhs), true);
+      }
+      if (IsLiteral(expr->lhs) &&
+          (expr->logical_op == ra::LogicalOp::kNot || IsLiteral(expr->rhs))) {
+        return MakeLiteral(FoldAgainstRuntime(*expr));
+      }
+      // One-sided collapses. FALSE AND x and TRUE OR x produce exactly the
+      // Int(0)/Int(1) the runtime would, so they are exact in any context;
+      // TRUE AND x → x and FALSE OR x → x only preserve truth value, so
+      // they need boolean context.
+      const bool lhs_lit = IsLiteral(expr->lhs);
+      const bool rhs_lit = IsLiteral(expr->rhs);
+      if (expr->logical_op == ra::LogicalOp::kAnd && (lhs_lit || rhs_lit)) {
+        const bool truth = LiteralTruth(lhs_lit ? expr->lhs->literal
+                                                : expr->rhs->literal);
+        if (!truth) return MakeLiteral(Value::Int(0));
+        if (boolean_context) return lhs_lit ? std::move(expr->rhs)
+                                            : std::move(expr->lhs);
+      }
+      if (expr->logical_op == ra::LogicalOp::kOr && (lhs_lit || rhs_lit)) {
+        const bool truth = LiteralTruth(lhs_lit ? expr->lhs->literal
+                                                : expr->rhs->literal);
+        if (truth) return MakeLiteral(Value::Int(1));
+        if (boolean_context) return lhs_lit ? std::move(expr->rhs)
+                                            : std::move(expr->lhs);
+      }
+      return expr;
+    }
+  }
+  return expr;
+}
 
 ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db) {
   FGPDB_CHECK(!stmt.from.empty()) << "FROM clause required";
@@ -263,9 +381,33 @@ ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db) {
     scope.AddTable(ref.alias, table->schema());
   }
 
+  // --- Expression simplification -------------------------------------------
+  // Fold literal subtrees and collapse TRUE AND x / FALSE OR x before any
+  // plan construction, so downstream decomposition sees the minimal tree
+  // (a WHERE that folds to TRUE disappears entirely).
+  AstExprPtr where =
+      stmt.where != nullptr ? SimplifyExpr(stmt.where->Clone(), true) : nullptr;
+  if (where != nullptr && where->kind == AstKind::kLiteral &&
+      LiteralTruth(where->literal)) {
+    where = nullptr;
+  }
+  AstExprPtr having = stmt.having != nullptr
+                          ? SimplifyExpr(stmt.having->Clone(), true)
+                          : nullptr;
+  if (having != nullptr && having->kind == AstKind::kLiteral &&
+      LiteralTruth(having->literal)) {
+    having = nullptr;
+  }
+  std::vector<SelectItem> items;
+  items.reserve(stmt.items.size());
+  for (const auto& item : stmt.items) {
+    items.push_back(
+        SelectItem{SimplifyExpr(item.expr->Clone(), false), item.alias});
+  }
+
   // --- WHERE decomposition ------------------------------------------------
   std::vector<const AstExpr*> conjuncts;
-  if (stmt.where != nullptr) SplitConjuncts(*stmt.where, conjuncts);
+  if (where != nullptr) SplitConjuncts(*where, conjuncts);
 
   // Per-table pushed-down predicates, cross-table equi-join keys, residual.
   std::vector<std::vector<const AstExpr*>> table_filters(stmt.from.size());
@@ -275,6 +417,11 @@ ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db) {
   };
   std::vector<JoinKey> join_keys;
   std::vector<const AstExpr*> residual;
+  // Disjunctive join alternatives extracted from OR-of-equality conjuncts,
+  // bucketed by the join level (highest referenced table) they attach to.
+  // Pairs are (left global column, right global column in that table).
+  std::vector<std::vector<std::pair<size_t, size_t>>> or_join_alts(
+      stmt.from.size());
 
   for (const AstExpr* conjunct : conjuncts) {
     std::vector<bool> used(stmt.from.size(), false);
@@ -307,6 +454,58 @@ ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db) {
       join_keys.push_back({lt, lc, rt, rc});
       continue;
     }
+    // OR of cross-table equalities (a.k = b.k OR a.k = b.j): every disjunct
+    // must equate a column of the highest referenced table with a column of
+    // an earlier one. Such a conjunct becomes the disjunctive key list of
+    // that join — hash-routable per alternative — instead of a filter over
+    // a Cartesian product. One per join level; extras stay residual.
+    // NULL keys follow this binder's existing join-extraction convention:
+    // hash-join key matching uses Value::Compare, under which NULL = NULL
+    // matches (unlike a residual Comparison, which collapses NULL to
+    // false) — the same trade the plain `a.k = b.k` extraction above
+    // already makes.
+    if (conjunct->kind == AstKind::kLogical &&
+        conjunct->logical_op == ra::LogicalOp::kOr) {
+      std::vector<const AstExpr*> disjuncts;
+      SplitDisjuncts(*conjunct, disjuncts);
+      std::vector<std::pair<size_t, size_t>> pairs;  // (global col, global col)
+      bool extractable = true;
+      size_t target = 0;
+      for (const AstExpr* d : disjuncts) {
+        if (d->kind != AstKind::kCompare ||
+            d->compare_op != ra::CompareOp::kEq ||
+            d->lhs->kind != AstKind::kColumn ||
+            d->rhs->kind != AstKind::kColumn) {
+          extractable = false;
+          break;
+        }
+        const size_t a = scope.Resolve(d->lhs->qualifier, d->lhs->column, nullptr);
+        const size_t b = scope.Resolve(d->rhs->qualifier, d->rhs->column, nullptr);
+        if (scope.TableOf(a) == scope.TableOf(b)) {
+          extractable = false;  // Same-table equality cannot key a join.
+          break;
+        }
+        pairs.emplace_back(a, b);
+        target = std::max({target, scope.TableOf(a), scope.TableOf(b)});
+      }
+      if (extractable) {
+        // Orient every pair as (earlier-table column, target-table column);
+        // a disjunct not touching the target table cannot be a key there.
+        std::vector<std::pair<size_t, size_t>> oriented;
+        for (auto [a, b] : pairs) {
+          if (scope.TableOf(a) == target) std::swap(a, b);
+          if (scope.TableOf(b) != target) {
+            extractable = false;
+            break;
+          }
+          oriented.emplace_back(a, b);
+        }
+        if (extractable && or_join_alts[target].empty()) {
+          or_join_alts[target] = std::move(oriented);
+          continue;
+        }
+      }
+    }
     residual.push_back(conjunct);
   }
 
@@ -337,9 +536,24 @@ ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db) {
         right_keys.push_back(key.right_col - scope.table_offset(t));
       }
     }
-    plan = std::make_unique<ra::JoinNode>(std::move(plan), std::move(inputs[t]),
-                                          std::move(left_keys),
-                                          std::move(right_keys), nullptr);
+    if (!or_join_alts[t].empty()) {
+      // Disjunctive join: each alternative is the conjunctive keys plus one
+      // OR-disjunct's column pair.
+      std::vector<ra::JoinKeyAlternative> alternatives;
+      for (const auto& [lc, rc] : or_join_alts[t]) {
+        ra::JoinKeyAlternative alt{left_keys, right_keys};
+        alt.left_keys.push_back(lc);
+        alt.right_keys.push_back(rc - scope.table_offset(t));
+        alternatives.push_back(std::move(alt));
+      }
+      plan = std::make_unique<ra::JoinNode>(
+          std::move(plan), std::move(inputs[t]), std::move(alternatives),
+          nullptr);
+    } else {
+      plan = std::make_unique<ra::JoinNode>(
+          std::move(plan), std::move(inputs[t]), std::move(left_keys),
+          std::move(right_keys), nullptr);
+    }
     joined_arity += tables[t]->schema().arity();
   }
   (void)joined_arity;
@@ -351,8 +565,10 @@ ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db) {
   }
 
   // --- Aggregation ----------------------------------------------------------
+  // Detection uses the *original* HAVING: one that folded to TRUE still
+  // forces the aggregation a bare HAVING clause implies.
   bool has_aggregate = !stmt.group_by.empty() || stmt.having != nullptr;
-  for (const auto& item : stmt.items) {
+  for (const auto& item : items) {
     if (item.expr->ContainsAggregate()) has_aggregate = true;
   }
 
@@ -370,8 +586,8 @@ ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db) {
     }
     // Unique aggregate calls from SELECT and HAVING.
     std::vector<const AstExpr*> agg_calls;
-    for (const auto& item : stmt.items) CollectAggregates(*item.expr, agg_calls);
-    if (stmt.having != nullptr) CollectAggregates(*stmt.having, agg_calls);
+    for (const auto& item : items) CollectAggregates(*item.expr, agg_calls);
+    if (having != nullptr) CollectAggregates(*having, agg_calls);
     std::unordered_map<std::string, size_t> agg_slots;
     std::vector<ra::AggregateSpec> specs;
     for (const AstExpr* call : agg_calls) {
@@ -389,18 +605,19 @@ ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db) {
     plan = std::make_unique<ra::AggregateNode>(std::move(plan), group_cols,
                                                std::move(specs));
     // HAVING over the aggregate output.
-    if (stmt.having != nullptr) {
+    if (having != nullptr) {
       plan = std::make_unique<ra::SelectNode>(
           std::move(plan),
-          LowerOverAggregate(*stmt.having, scope, agg_slots, group_slots));
+          LowerOverAggregate(*having, scope, agg_slots, group_slots));
     }
-    // SELECT list over the aggregate output.
+    // SELECT list over the aggregate output. Display names come from the
+    // original (unsimplified) expressions so folding cannot rename columns.
     std::vector<ra::ExprPtr> outputs;
     std::vector<std::string> names;
-    for (const auto& item : stmt.items) {
+    for (size_t i = 0; i < items.size(); ++i) {
       outputs.push_back(
-          LowerOverAggregate(*item.expr, scope, agg_slots, group_slots));
-      names.push_back(DeriveName(item));
+          LowerOverAggregate(*items[i].expr, scope, agg_slots, group_slots));
+      names.push_back(DeriveName(stmt.items[i]));
     }
     DedupeNames(&names);
     plan = std::make_unique<ra::ProjectNode>(std::move(plan),
@@ -408,9 +625,9 @@ ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db) {
   } else if (!stmt.select_star) {
     std::vector<ra::ExprPtr> outputs;
     std::vector<std::string> names;
-    for (const auto& item : stmt.items) {
-      outputs.push_back(LowerScalar(*item.expr, scope));
-      names.push_back(DeriveName(item));
+    for (size_t i = 0; i < items.size(); ++i) {
+      outputs.push_back(LowerScalar(*items[i].expr, scope));
+      names.push_back(DeriveName(stmt.items[i]));
     }
     DedupeNames(&names);
     plan = std::make_unique<ra::ProjectNode>(std::move(plan),

@@ -21,6 +21,15 @@ ra::PlanPtr Bind(const SelectStatement& stmt, const Database& db);
 /// Parse + bind in one step.
 ra::PlanPtr PlanQuery(const std::string& query, const Database& db);
 
+/// Algebraic simplification run by Bind() before plan construction:
+/// comparisons, arithmetic, and logical connectives whose operands are all
+/// literals are constant-folded (by evaluating the equivalent ra:: node, so
+/// folding matches runtime semantics bit for bit), and in predicate context
+/// (`boolean_context`, i.e. WHERE / HAVING / COUNT_IF arguments, where only
+/// truth value matters) TRUE AND x / FALSE OR x collapse to x, FALSE AND x
+/// to FALSE, and TRUE OR x to TRUE. Exposed for tests.
+AstExprPtr SimplifyExpr(AstExprPtr expr, bool boolean_context);
+
 }  // namespace sql
 }  // namespace fgpdb
 

@@ -217,31 +217,41 @@ class PtrBag {
 // ΔL×ΔR. State buckets hold pointers into the view's TupleArena, so a tuple
 // materialized by both sides of a self-join is stored once. Empty key lists
 // degrade to a Cartesian product (single bucket).
+//
+// The join condition is a list of key alternatives (plain equi-joins are a
+// single alternative): each side keeps one keyed state per alternative, and
+// a probe tuple matches the union of its per-alternative buckets. A state
+// tuple reachable through several alternatives pairs with the probe once —
+// matches are deduped by interned pointer, which is exact because every
+// alternative's bucket holds the same (pointer, count) entry for it.
 // ---------------------------------------------------------------------------
 class IncJoin final : public IncrementalOperator {
  public:
   IncJoin(ViewRuntime* runtime, IncrementalOperatorPtr left,
-          IncrementalOperatorPtr right, std::vector<size_t> left_keys,
-          std::vector<size_t> right_keys, ra::ExprPtr residual)
+          IncrementalOperatorPtr right,
+          std::vector<ra::JoinKeyAlternative> alternatives,
+          ra::ExprPtr residual)
       : IncrementalOperator(runtime),
         left_(std::move(left)),
         right_(std::move(right)),
-        left_keys_(std::move(left_keys)),
-        right_keys_(std::move(right_keys)),
+        alternatives_(std::move(alternatives)),
         residual_(std::move(residual)) {
+    FGPDB_CHECK(!alternatives_.empty());
+    left_states_.resize(alternatives_.size());
+    right_states_.resize(alternatives_.size());
     AbsorbChild(*left_);
     AbsorbChild(*right_);
   }
 
   DeltaMultiset Initialize(const Database& db) override {
-    left_state_.clear();
-    right_state_.clear();
+    for (auto& state : left_states_) state.clear();
+    for (auto& state : right_states_) state.clear();
     const DeltaMultiset l = left_->Initialize(db);
     const DeltaMultiset r = right_->Initialize(db);
-    Fold(r, right_keys_, &right_state_);
+    Fold(r, /*fold_left=*/false);
     DeltaMultiset out;
     JoinAgainst(l, /*probe_left=*/true, &out);
-    Fold(l, left_keys_, &left_state_);
+    Fold(l, /*fold_left=*/true);
     return out;
   }
 
@@ -252,13 +262,13 @@ class IncJoin final : public IncrementalOperator {
     const DeltaMultiset* dl = left_->ApplyDelta(deltas);
     if (!dl->empty()) {
       JoinAgainst(*dl, /*probe_left=*/true, &out_);
-      Fold(*dl, left_keys_, &left_state_);
+      Fold(*dl, /*fold_left=*/true);
     }
     // ΔR ⋈ L_new — absorbs the ΔL⋈ΔR cross term into the hash probes.
     const DeltaMultiset* dr = right_->ApplyDelta(deltas);
     if (!dr->empty()) {
       JoinAgainst(*dr, /*probe_left=*/false, &out_);
-      Fold(*dr, right_keys_, &right_state_);
+      Fold(*dr, /*fold_left=*/false);
     }
     return &out_;
   }
@@ -267,13 +277,17 @@ class IncJoin final : public IncrementalOperator {
   // key tuple -> bucket of matching interned tuples.
   using KeyedState = std::unordered_map<Tuple, PtrBag, TupleHasher>;
 
-  void Fold(const DeltaMultiset& delta, const std::vector<size_t>& keys,
-            KeyedState* state) {
+  void Fold(const DeltaMultiset& delta, bool fold_left) {
+    auto& states = fold_left ? left_states_ : right_states_;
     delta.ForEach([&](const Tuple& t, int64_t c) {
       const Tuple* interned = runtime_->arena.Intern(t);
-      t.ProjectInto(keys, &key_scratch_);
-      // Leaves empty buckets in place; they are rare and harmless.
-      (*state)[key_scratch_].Add(interned, c);
+      for (size_t a = 0; a < alternatives_.size(); ++a) {
+        const auto& keys = fold_left ? alternatives_[a].left_keys
+                                     : alternatives_[a].right_keys;
+        t.ProjectInto(keys, &key_scratch_);
+        // Leaves empty buckets in place; they are rare and harmless.
+        states[a][key_scratch_].Add(interned, c);
+      }
     });
   }
 
@@ -285,36 +299,67 @@ class IncJoin final : public IncrementalOperator {
     }
   }
 
+  /// Emits probe tuple × state tuple in left-right order.
+  void EmitOriented(const Tuple& pt, const Tuple& st, int64_t count,
+                    bool probe_left, DeltaMultiset* out) const {
+    if (probe_left) {
+      Emit(pt, st, count, out);
+    } else {
+      Emit(st, pt, count, out);
+    }
+  }
+
   /// Joins `probe` against the opposite side's materialized state.
   void JoinAgainst(const DeltaMultiset& probe, bool probe_left,
                    DeltaMultiset* out) {
-    const KeyedState& state = probe_left ? right_state_ : left_state_;
-    const std::vector<size_t>& probe_keys =
-        probe_left ? left_keys_ : right_keys_;
-    probe.ForEach([&](const Tuple& pt, int64_t pc) {
-      pt.ProjectInto(probe_keys, &key_scratch_);
-      const auto it = state.find(key_scratch_);
-      if (it == state.end()) return;
-      it->second.ForEach([&](const Tuple* st, int64_t sc) {
-        if (probe_left) {
-          Emit(pt, *st, pc * sc, out);
-        } else {
-          Emit(*st, pt, pc * sc, out);
-        }
+    const auto& states = probe_left ? right_states_ : left_states_;
+    if (alternatives_.size() == 1) {
+      // Single alternative (every plain equi-/cross join): one state
+      // lookup per probe tuple, no cross-alternative dedup.
+      const auto& keys = probe_left ? alternatives_[0].left_keys
+                                    : alternatives_[0].right_keys;
+      probe.ForEach([&](const Tuple& pt, int64_t pc) {
+        pt.ProjectInto(keys, &key_scratch_);
+        const auto it = states[0].find(key_scratch_);
+        if (it == states[0].end()) return;
+        it->second.ForEach([&](const Tuple* st, int64_t sc) {
+          EmitOriented(pt, *st, pc * sc, probe_left, out);
+        });
       });
+      return;
+    }
+    probe.ForEach([&](const Tuple& pt, int64_t pc) {
+      matches_.clear();
+      for (size_t a = 0; a < alternatives_.size(); ++a) {
+        pt.ProjectInto(probe_left ? alternatives_[a].left_keys
+                                  : alternatives_[a].right_keys,
+                       &key_scratch_);
+        const auto it = states[a].find(key_scratch_);
+        if (it == states[a].end()) continue;
+        it->second.ForEach([&](const Tuple* st, int64_t sc) {
+          for (const auto& [seen, count] : matches_) {
+            (void)count;
+            if (seen == st) return;
+          }
+          matches_.emplace_back(st, sc);
+        });
+      }
+      for (const auto& [st, sc] : matches_) {
+        EmitOriented(pt, *st, pc * sc, probe_left, out);
+      }
     });
   }
 
   IncrementalOperatorPtr left_;
   IncrementalOperatorPtr right_;
-  std::vector<size_t> left_keys_;
-  std::vector<size_t> right_keys_;
+  std::vector<ra::JoinKeyAlternative> alternatives_;
   ra::ExprPtr residual_;
-  KeyedState left_state_;
-  KeyedState right_state_;
+  std::vector<KeyedState> left_states_;
+  std::vector<KeyedState> right_states_;
   DeltaMultiset out_;
-  // Reused key-projection scratch (a view is single-threaded).
+  // Reused key-projection and match scratch (a view is single-threaded).
   Tuple key_scratch_;
+  std::vector<std::pair<const Tuple*, int64_t>> matches_;
 };
 
 // ---------------------------------------------------------------------------
@@ -580,10 +625,13 @@ IncrementalOperatorPtr CompileNode(const ra::PlanNode& plan,
     }
     case ra::PlanKind::kJoin: {
       const auto& node = static_cast<const ra::JoinNode&>(plan);
+      std::vector<ra::JoinKeyAlternative> alternatives = node.alternatives();
+      if (alternatives.empty()) {
+        alternatives.push_back({node.left_keys(), node.right_keys()});
+      }
       return std::make_unique<IncJoin>(
           runtime, CompileNode(plan.child(0), runtime),
-          CompileNode(plan.child(1), runtime), node.left_keys(),
-          node.right_keys(),
+          CompileNode(plan.child(1), runtime), std::move(alternatives),
           node.residual() != nullptr ? node.residual()->Clone() : nullptr);
     }
     case ra::PlanKind::kAggregate: {

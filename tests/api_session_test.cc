@@ -1,0 +1,161 @@
+// api::Session basics: prepared-query cache identity, SQL normalization,
+// execution-policy parity, progress handles, and base-world isolation.
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "ie/corpus.h"
+#include "ie/ner_proposal.h"
+#include "ie/queries.h"
+#include "ie/skip_chain_model.h"
+#include "ie/token_pdb.h"
+
+namespace fgpdb {
+namespace {
+
+struct NerFixture {
+  ie::TokenPdb tokens;
+  std::unique_ptr<ie::SkipChainNerModel> model;
+
+  explicit NerFixture(size_t num_tokens, uint64_t seed = 31) {
+    ie::SyntheticCorpus corpus = ie::GenerateCorpus(
+        {.num_tokens = num_tokens, .tokens_per_doc = 60, .seed = seed});
+    tokens = ie::BuildTokenPdb(corpus);
+    model = std::make_unique<ie::SkipChainNerModel>(tokens);
+    model->InitializeFromCorpusStatistics(tokens);
+    tokens.pdb->set_model(model.get());
+  }
+
+  pdb::ProposalFactory MakeFactory() {
+    return [this](pdb::ProbabilisticDatabase&) -> std::unique_ptr<infer::Proposal> {
+      return std::make_unique<ie::DocumentBatchProposal>(
+          &tokens.docs, ie::NerProposalOptions{.proposals_per_batch = 300});
+    };
+  }
+
+  std::unique_ptr<api::Session> OpenSession(
+      pdb::EvaluatorOptions evaluator = {.steps_per_sample = 100, .seed = 4},
+      api::ExecutionPolicy policy = {}) {
+    return api::Session::Open({.database = tokens.pdb.get(),
+                               .proposal_factory = MakeFactory(),
+                               .evaluator = evaluator,
+                               .policy = policy});
+  }
+};
+
+TEST(SqlNormalizationTest, CollapsesWhitespaceAndKeywordCase) {
+  EXPECT_EQ(api::Session::NormalizeSql("select *   from TOKEN\n where X=1"),
+            api::Session::NormalizeSql("SELECT * FROM TOKEN WHERE X = 1"));
+}
+
+TEST(SqlNormalizationTest, PreservesStringLiteralsVerbatim) {
+  EXPECT_NE(api::Session::NormalizeSql("SELECT X FROM T WHERE S = 'a b'"),
+            api::Session::NormalizeSql("SELECT X FROM T WHERE S = 'A B'"));
+  // Embedded quotes survive the round trip.
+  EXPECT_EQ(api::Session::NormalizeSql("SELECT X FROM T WHERE S = 'it''s'"),
+            "SELECT X FROM T WHERE S = 'it''s'");
+}
+
+TEST(SqlNormalizationTest, CanonicalizesOperatorSpelling) {
+  EXPECT_EQ(api::Session::NormalizeSql("SELECT X FROM T WHERE X != 1"),
+            api::Session::NormalizeSql("SELECT X FROM T WHERE X <> 1"));
+}
+
+TEST(SessionTest, PrepareCachesByNormalizedText) {
+  NerFixture fixture(200);
+  auto session = fixture.OpenSession();
+  api::PreparedQueryPtr a = session->Prepare(ie::kQuery1);
+  api::PreparedQueryPtr b =
+      session->Prepare("select STRING from TOKEN\nwhere LABEL = 'B-PER'");
+  EXPECT_EQ(a.get(), b.get()) << "same normalized text must share the plan";
+  EXPECT_EQ(session->prepared_cache_size(), 1u);
+  api::PreparedQueryPtr c = session->Prepare(ie::kQuery2);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(session->prepared_cache_size(), 2u);
+}
+
+TEST(SessionTest, RegisterSamePreparedTwiceGivesIndependentSlots) {
+  NerFixture fixture(200);
+  auto session = fixture.OpenSession();
+  api::PreparedQueryPtr q = session->Prepare(ie::kQuery1);
+  api::ResultHandle h1 = session->Register(q);
+  api::ResultHandle h2 = session->Register(q);
+  EXPECT_NE(h1.slot(), h2.slot());
+  session->Run(5);
+  // Same plan on the same chain: identical answers, separate bookkeeping.
+  EXPECT_EQ(h1.Snapshot().answer.SquaredError(h2.Snapshot().answer), 0.0);
+}
+
+TEST(SessionTest, SnapshotReportsProgressMidRun) {
+  NerFixture fixture(200);
+  auto session = fixture.OpenSession({.steps_per_sample = 100, .seed = 8});
+  api::ResultHandle handle = session->Register(ie::kQuery1);
+  EXPECT_EQ(handle.Snapshot().samples, 0u);
+  session->Run(3);
+  api::QueryProgress p = handle.Snapshot();
+  EXPECT_EQ(p.samples, 3u);
+  EXPECT_EQ(p.steps_per_sample, 100u);
+  EXPECT_GT(p.acceptance_rate, 0.0);
+  session->Run(2);
+  EXPECT_EQ(handle.Snapshot().samples, 5u);
+}
+
+TEST(SessionTest, BaseDatabaseIsNeverMutated) {
+  NerFixture fixture(200);
+  std::vector<uint32_t> before;
+  for (size_t v = 0; v < fixture.tokens.num_tokens(); ++v) {
+    before.push_back(
+        fixture.tokens.pdb->world().Get(static_cast<factor::VarId>(v)));
+  }
+  auto session = fixture.OpenSession();
+  session->Register(ie::kQuery1);
+  session->Run(10);
+  for (size_t v = 0; v < fixture.tokens.num_tokens(); ++v) {
+    ASSERT_EQ(fixture.tokens.pdb->world().Get(static_cast<factor::VarId>(v)),
+              before[v])
+        << "session sampling leaked into the base world at var " << v;
+  }
+  EXPECT_EQ(fixture.tokens.pdb->pending_rows_touched(), 0u);
+}
+
+TEST(SessionTest, NaivePolicyMatchesSerialPolicyExactly) {
+  // Alg. 3 and Alg. 1 on identical chains must agree — the paper's Fig. 4
+  // premise, now expressed as an execution-policy swap on the same API.
+  NerFixture fixture(300);
+  const pdb::EvaluatorOptions options{
+      .steps_per_sample = 200, .burn_in = 400, .seed = 123};
+  auto serial = fixture.OpenSession(options);
+  auto naive = fixture.OpenSession(options, api::ExecutionPolicy::Naive());
+  api::ResultHandle hs = serial->Register(ie::kQuery2);
+  api::ResultHandle hn = naive->Register(ie::kQuery2);
+  serial->Run(15);
+  naive->Run(15);
+  EXPECT_EQ(hs.Snapshot().answer.SquaredError(hn.Snapshot().answer), 0.0);
+}
+
+TEST(SessionTest, ParallelPolicyMergesAcrossRunEpochs) {
+  NerFixture fixture(200);
+  auto session = fixture.OpenSession(
+      {.steps_per_sample = 100, .burn_in = 200, .seed = 6},
+      api::ExecutionPolicy::Parallel(2));
+  api::ResultHandle handle = session->Register(ie::kQuery1);
+  session->Run(5);
+  EXPECT_EQ(handle.Snapshot().samples, 2u * 5u);
+  session->Run(5);
+  EXPECT_EQ(handle.Snapshot().samples, 2u * 10u);
+  EXPECT_GT(handle.Snapshot().acceptance_rate, 0.0);
+}
+
+TEST(SessionTest, PreparedQueriesSurviveAcrossPolicies) {
+  NerFixture fixture(200);
+  auto session = fixture.OpenSession(
+      {.steps_per_sample = 50, .seed = 2},
+      api::ExecutionPolicy::Parallel(2, /*max_threads=*/1));
+  api::ResultHandle handle = session->Register(session->Prepare(ie::kQuery3));
+  session->Run(4);
+  EXPECT_EQ(handle.query()->normalized_sql(),
+            api::Session::NormalizeSql(ie::kQuery3));
+  EXPECT_GT(handle.Snapshot().samples, 0u);
+}
+
+}  // namespace
+}  // namespace fgpdb

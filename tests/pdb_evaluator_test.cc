@@ -1,9 +1,12 @@
 // Algorithm 1 vs Algorithm 3: with the same chain (same seed/proposal),
 // the materialized evaluator must produce byte-identical marginals to the
 // naive evaluator — the paper's Fig. 4 premise ("the two approaches
-// generate the same set of samples").
+// generate the same set of samples"). The Query 1–4 harness runs through
+// api::Session, expressing the comparison as an execution-policy swap
+// (serial = Alg. 1 views, naive = Alg. 3) on the unified front door.
 #include <gtest/gtest.h>
 
+#include "api/session.h"
 #include "ie/corpus.h"
 #include "ie/ner_proposal.h"
 #include "ie/queries.h"
@@ -27,37 +30,42 @@ struct NerFixture {
     model->InitializeFromCorpusStatistics(tokens);
     tokens.pdb->set_model(model.get());
   }
+
+  pdb::ProposalFactory MakeFactory() {
+    return [this](pdb::ProbabilisticDatabase&) -> std::unique_ptr<infer::Proposal> {
+      return std::make_unique<ie::DocumentBatchProposal>(
+          &tokens.docs, ie::NerProposalOptions{.proposals_per_batch = 400});
+    };
+  }
 };
 
 class EvaluatorEquivalenceTest : public ::testing::TestWithParam<const char*> {
 };
 
 TEST_P(EvaluatorEquivalenceTest, NaiveAndMaterializedAgreeExactly) {
-  // Two clones of the same initial world, two evaluators, same seeds:
+  // Two sessions over the same base world, two policies, same seeds:
   // identical chains, so identical answers are required, not just close.
   NerFixture fixture(600);
-  auto world_a = fixture.tokens.pdb->Clone();
-  auto world_b = fixture.tokens.pdb->Clone();
-
-  ra::PlanPtr plan_a = sql::PlanQuery(GetParam(), world_a->db());
-  ra::PlanPtr plan_b = sql::PlanQuery(GetParam(), world_b->db());
-
   const pdb::EvaluatorOptions options{
       .steps_per_sample = 500, .burn_in = 1000, .seed = 99};
-  ie::DocumentBatchProposal proposal_a(&fixture.tokens.docs,
-                                       {.proposals_per_batch = 400});
-  ie::DocumentBatchProposal proposal_b(&fixture.tokens.docs,
-                                       {.proposals_per_batch = 400});
 
-  pdb::NaiveQueryEvaluator naive(world_a.get(), &proposal_a, plan_a.get(),
-                                 options);
-  pdb::MaterializedQueryEvaluator materialized(world_b.get(), &proposal_b,
-                                               plan_b.get(), options);
-  naive.Run(40);
-  materialized.Run(40);
+  auto naive_session =
+      api::Session::Open({.database = fixture.tokens.pdb.get(),
+                          .proposal_factory = fixture.MakeFactory(),
+                          .evaluator = options,
+                          .policy = api::ExecutionPolicy::Naive()});
+  auto serial_session =
+      api::Session::Open({.database = fixture.tokens.pdb.get(),
+                          .proposal_factory = fixture.MakeFactory(),
+                          .evaluator = options,
+                          .policy = api::ExecutionPolicy::Serial()});
+  api::ResultHandle naive = naive_session->Register(GetParam());
+  api::ResultHandle materialized = serial_session->Register(GetParam());
+  naive_session->Run(40);
+  serial_session->Run(40);
 
-  const auto answer_naive = naive.answer().Sorted();
-  const auto answer_materialized = materialized.answer().Sorted();
+  const auto answer_naive = naive.Snapshot().answer.Sorted();
+  const auto answer_materialized = materialized.Snapshot().answer.Sorted();
   ASSERT_EQ(answer_naive.size(), answer_materialized.size())
       << "different answer supports for query: " << GetParam();
   for (size_t i = 0; i < answer_naive.size(); ++i) {
@@ -65,7 +73,8 @@ TEST_P(EvaluatorEquivalenceTest, NaiveAndMaterializedAgreeExactly) {
     EXPECT_DOUBLE_EQ(answer_naive[i].second, answer_materialized[i].second)
         << "marginal mismatch on tuple " << answer_naive[i].first.ToString();
   }
-  EXPECT_EQ(naive.answer().SquaredError(materialized.answer()), 0.0);
+  EXPECT_EQ(naive.Snapshot().answer.SquaredError(materialized.Snapshot().answer),
+            0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperQueries, EvaluatorEquivalenceTest,

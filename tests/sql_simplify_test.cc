@@ -1,0 +1,258 @@
+// Binder-level algebraic rewrites:
+//
+//   * SimplifyExpr — constant folding of literal comparisons / arithmetic /
+//     connectives (exact w.r.t. runtime semantics, including NULL
+//     collapsing) and boolean-context collapses of TRUE AND x / FALSE OR x.
+//   * OR-of-equalities join extraction — `a.k = b.k OR a.k = b.j` becomes a
+//     disjunctive hash join (JoinKeyAlternative list) instead of a filtered
+//     Cartesian product, for both the executor and the incremental engine.
+#include <gtest/gtest.h>
+
+#include "ra/executor.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "util/rng.h"
+#include "view/incremental.h"
+
+namespace fgpdb {
+namespace {
+
+using sql::AstExprPtr;
+using sql::AstKind;
+
+// Parses a one-table statement and returns its simplified WHERE tree.
+AstExprPtr SimplifiedWhere(const std::string& condition) {
+  sql::SelectStatement stmt = sql::Parse("SELECT X FROM T WHERE " + condition);
+  return sql::SimplifyExpr(stmt.where->Clone(), /*boolean_context=*/true);
+}
+
+TEST(SimplifyExprTest, TrueAndCollapsesToOtherSide) {
+  AstExprPtr e = SimplifiedWhere("1 = 1 AND X > 2");
+  ASSERT_EQ(e->kind, AstKind::kCompare);
+  EXPECT_EQ(e->compare_op, ra::CompareOp::kGt);
+}
+
+TEST(SimplifyExprTest, FalseOrCollapsesToOtherSide) {
+  AstExprPtr e = SimplifiedWhere("2 < 1 OR X > 2");
+  ASSERT_EQ(e->kind, AstKind::kCompare);
+  EXPECT_EQ(e->compare_op, ra::CompareOp::kGt);
+}
+
+TEST(SimplifyExprTest, FalseAndShortCircuitsWholeConjunction) {
+  AstExprPtr e = SimplifiedWhere("1 = 2 AND X > 2");
+  ASSERT_EQ(e->kind, AstKind::kLiteral);
+  EXPECT_EQ(e->literal, Value::Int(0));
+}
+
+TEST(SimplifyExprTest, TrueOrShortCircuitsWholeDisjunction) {
+  AstExprPtr e = SimplifiedWhere("TRUE OR X = 3");
+  ASSERT_EQ(e->kind, AstKind::kLiteral);
+  EXPECT_EQ(e->literal, Value::Int(1));
+}
+
+TEST(SimplifyExprTest, NotOfLiteralFolds) {
+  AstExprPtr e = SimplifiedWhere("NOT TRUE OR X = 1");
+  ASSERT_EQ(e->kind, AstKind::kCompare);
+  EXPECT_EQ(e->compare_op, ra::CompareOp::kEq);
+}
+
+TEST(SimplifyExprTest, LiteralArithmeticFoldsInsideComparisons) {
+  AstExprPtr e = SimplifiedWhere("X > 2 * 3 + 1");
+  ASSERT_EQ(e->kind, AstKind::kCompare);
+  ASSERT_EQ(e->rhs->kind, AstKind::kLiteral);
+  EXPECT_EQ(e->rhs->literal, Value::Int(7));
+}
+
+TEST(SimplifyExprTest, NullComparisonFoldsToFalseLikeRuntime) {
+  // Comparisons collapse NULL operands to false (SQL three-valued logic
+  // collapsed) — folding must match, turning the conjunct into FALSE.
+  AstExprPtr e = SimplifiedWhere("1 < NULL AND X = 2");
+  ASSERT_EQ(e->kind, AstKind::kLiteral);
+  EXPECT_EQ(e->literal, Value::Int(0));
+}
+
+TEST(SimplifyExprTest, ValueContextKeepsCollapseExact) {
+  // In value position TRUE AND x may NOT collapse to x (the runtime yields
+  // Int(0/1)); both-literal connectives still fold exactly.
+  sql::SelectStatement stmt = sql::Parse("SELECT TRUE AND X FROM T");
+  AstExprPtr e =
+      sql::SimplifyExpr(stmt.items[0].expr->Clone(), /*boolean_context=*/false);
+  EXPECT_EQ(e->kind, AstKind::kLogical);
+
+  sql::SelectStatement folded = sql::Parse("SELECT TRUE AND FALSE FROM T");
+  AstExprPtr f = sql::SimplifyExpr(folded.items[0].expr->Clone(), false);
+  ASSERT_EQ(f->kind, AstKind::kLiteral);
+  EXPECT_EQ(f->literal, Value::Int(0));
+}
+
+TEST(SimplifyExprTest, CountIfArgumentSimplifiesInBooleanContext) {
+  sql::SelectStatement stmt =
+      sql::Parse("SELECT COUNT_IF(TRUE AND X = 1) FROM T GROUP BY Y");
+  AstExprPtr e = sql::SimplifyExpr(stmt.items[0].expr->Clone(), false);
+  ASSERT_EQ(e->kind, AstKind::kAggregate);
+  EXPECT_EQ(e->agg_argument->kind, AstKind::kCompare);
+}
+
+// --- End-to-end through Bind -------------------------------------------------
+
+Database MakeTwoTables() {
+  Database db;
+  Table* a = db.CreateTable(
+      "A", Schema({Attribute{"K", ValueType::kInt64},
+                   Attribute{"X", ValueType::kInt64}}));
+  Table* b = db.CreateTable(
+      "B", Schema({Attribute{"K", ValueType::kInt64},
+                   Attribute{"J", ValueType::kInt64}}));
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    a->Insert(Tuple{Value::Int(static_cast<int64_t>(rng.UniformInt(12))),
+                    Value::Int(static_cast<int64_t>(rng.UniformInt(6)))});
+    b->Insert(Tuple{Value::Int(static_cast<int64_t>(rng.UniformInt(12))),
+                    Value::Int(static_cast<int64_t>(rng.UniformInt(12)))});
+  }
+  return db;
+}
+
+TEST(BindSimplifyTest, TautologicalWhereDisappears) {
+  Database db = MakeTwoTables();
+  ra::PlanPtr plan = sql::PlanQuery("SELECT K FROM A WHERE 1 = 1", db);
+  EXPECT_EQ(plan->ToString().find("Select"), std::string::npos)
+      << plan->ToString();
+}
+
+TEST(BindSimplifyTest, FoldedSelectItemKeepsOriginalName) {
+  Database db = MakeTwoTables();
+  ra::PlanPtr plan = sql::PlanQuery("SELECT 1 + 2 FROM A", db);
+  EXPECT_EQ(plan->output_schema().attributes()[0].name, "(1 + 2)");
+  const std::vector<Tuple> rows = ra::Execute(*plan, db);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].at(0), Value::Int(3));
+}
+
+// The extractable OR and its un-extractable double-negated twin (NOT NOT
+// keeps the disjunction out of the conjunct classifier, reproducing the old
+// filtered-cross-product plan) — the oracle for both executor and views.
+constexpr const char* kOrJoinSql =
+    "SELECT A.X, B.J FROM A, B WHERE A.K = B.K OR A.K = B.J";
+constexpr const char* kOrJoinOracleSql =
+    "SELECT A.X, B.J FROM A, B WHERE NOT NOT (A.K = B.K OR A.K = B.J)";
+
+TEST(OrJoinExtractionTest, ProducesDisjunctiveJoinNotCrossProduct) {
+  Database db = MakeTwoTables();
+  ra::PlanPtr plan = sql::PlanQuery(kOrJoinSql, db);
+  EXPECT_NE(plan->ToString().find("HashJoinAny"), std::string::npos)
+      << plan->ToString();
+  EXPECT_EQ(plan->ToString().find("CrossProduct"), std::string::npos)
+      << plan->ToString();
+
+  ra::PlanPtr oracle = sql::PlanQuery(kOrJoinOracleSql, db);
+  EXPECT_NE(oracle->ToString().find("CrossProduct"), std::string::npos)
+      << oracle->ToString();
+}
+
+TEST(OrJoinExtractionTest, ExecutorMatchesFilteredCrossProduct) {
+  Database db = MakeTwoTables();
+  ra::PlanPtr plan = sql::PlanQuery(kOrJoinSql, db);
+  ra::PlanPtr oracle = sql::PlanQuery(kOrJoinOracleSql, db);
+  view::DeltaMultiset got, want;
+  for (const Tuple& t : ra::Execute(*plan, db)) got.Add(t, 1);
+  for (const Tuple& t : ra::Execute(*oracle, db)) want.Add(t, 1);
+  EXPECT_EQ(got, want);
+}
+
+TEST(OrJoinExtractionTest, ConjunctiveKeysFoldIntoEveryAlternative) {
+  Database db = MakeTwoTables();
+  ra::PlanPtr plan = sql::PlanQuery(
+      "SELECT A.X FROM A, B WHERE A.K = B.K AND (A.X = B.J OR A.K = B.J)", db);
+  const std::string rendered = plan->ToString();
+  EXPECT_NE(rendered.find("HashJoinAny"), std::string::npos) << rendered;
+  // Both alternatives carry the conjunctive K=K pair plus their disjunct.
+  ra::PlanPtr oracle = sql::PlanQuery(
+      "SELECT A.X FROM A, B WHERE A.K = B.K AND "
+      "NOT NOT (A.X = B.J OR A.K = B.J)",
+      db);
+  view::DeltaMultiset got, want;
+  for (const Tuple& t : ra::Execute(*plan, db)) got.Add(t, 1);
+  for (const Tuple& t : ra::Execute(*oracle, db)) want.Add(t, 1);
+  EXPECT_EQ(got, want);
+}
+
+TEST(OrJoinExtractionTest, SameTableDisjunctFallsBackToResidual) {
+  Database db = MakeTwoTables();
+  // A.K = A.X cannot key a join; the whole conjunct must stay a filter.
+  ra::PlanPtr plan = sql::PlanQuery(
+      "SELECT A.X FROM A, B WHERE A.K = B.K OR A.K = A.X", db);
+  EXPECT_EQ(plan->ToString().find("HashJoinAny"), std::string::npos)
+      << plan->ToString();
+}
+
+// Streams random row rewrites through incrementally-maintained views of the
+// extracted plan and the oracle plan; contents must stay identical.
+TEST(OrJoinExtractionTest, IncrementalMaintenanceMatchesOracle) {
+  Database db = MakeTwoTables();
+  ra::PlanPtr plan = sql::PlanQuery(kOrJoinSql, db);
+  ra::PlanPtr oracle = sql::PlanQuery(kOrJoinOracleSql, db);
+  view::MaterializedView maintained(*plan);
+  view::MaterializedView reference(*oracle);
+  maintained.Initialize(db);
+  reference.Initialize(db);
+  EXPECT_EQ(maintained.contents(), reference.contents());
+
+  // Shadow contents per table drive the delta stream.
+  auto snapshot = [&](const char* name) {
+    std::vector<Tuple> rows;
+    db.RequireTable(name)->Scan(
+        [&](RowId, const Tuple& t) { rows.push_back(t); });
+    return rows;
+  };
+  std::vector<Tuple> a_rows = snapshot("A");
+  std::vector<Tuple> b_rows = snapshot("B");
+
+  Rng rng(99);
+  for (int round = 0; round < 80; ++round) {
+    view::DeltaSet deltas;
+    for (int change = 0; change < 3; ++change) {
+      const bool pick_a = rng.UniformInt(2) == 0;
+      std::vector<Tuple>& rows = pick_a ? a_rows : b_rows;
+      const size_t i = static_cast<size_t>(rng.UniformInt(rows.size()));
+      Tuple updated{Value::Int(static_cast<int64_t>(rng.UniformInt(12))),
+                    Value::Int(static_cast<int64_t>(rng.UniformInt(12)))};
+      view::DeltaMultiset& delta = deltas.ForTable(pick_a ? "A" : "B");
+      delta.Add(rows[i], -1);
+      delta.Add(updated, 1);
+      rows[i] = updated;
+    }
+    maintained.Apply(deltas);
+    reference.Apply(deltas);
+    ASSERT_EQ(maintained.contents(), reference.contents()) << "round " << round;
+  }
+}
+
+TEST(OrJoinExtractionTest, ThreeTableDisjunctsAcrossDifferentLeftTables) {
+  Database db = MakeTwoTables();
+  Table* c = db.CreateTable(
+      "C", Schema({Attribute{"X", ValueType::kInt64},
+                   Attribute{"Y", ValueType::kInt64}}));
+  Rng rng(13);
+  for (int i = 0; i < 30; ++i) {
+    c->Insert(Tuple{Value::Int(static_cast<int64_t>(rng.UniformInt(6))),
+                    Value::Int(static_cast<int64_t>(rng.UniformInt(12)))});
+  }
+  const char* extracted =
+      "SELECT A.X FROM A, B, C WHERE A.K = B.K AND "
+      "(A.X = C.X OR B.J = C.Y)";
+  const char* reference =
+      "SELECT A.X FROM A, B, C WHERE A.K = B.K AND "
+      "NOT NOT (A.X = C.X OR B.J = C.Y)";
+  ra::PlanPtr plan = sql::PlanQuery(extracted, db);
+  EXPECT_NE(plan->ToString().find("HashJoinAny"), std::string::npos)
+      << plan->ToString();
+  ra::PlanPtr oracle = sql::PlanQuery(reference, db);
+  view::DeltaMultiset got, want;
+  for (const Tuple& t : ra::Execute(*plan, db)) got.Add(t, 1);
+  for (const Tuple& t : ra::Execute(*oracle, db)) want.Add(t, 1);
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace fgpdb
