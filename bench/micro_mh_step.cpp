@@ -71,6 +71,69 @@ void BM_MhStepPhases(benchmark::State& state) {
   state.SetLabel(std::to_string(n) + " tuples, phase split");
 }
 
+// Fixture for the LogScoreDelta micros: a mixed (non-all-'O') world and a
+// pool of pre-drawn §5.1 kernel changes, so the loop measures scoring and
+// nothing else.
+struct ScoreDeltaFixture {
+  NerBench bench;
+  factor::World world;
+  std::vector<factor::Change> changes;
+
+  explicit ScoreDeltaFixture(size_t num_tokens) : bench(num_tokens) {
+    auto proposal = bench.MakeProposal();
+    auto sampler = bench.tokens.pdb->MakeSampler(proposal.get(), 17);
+    sampler->Run(50000);  // Mix off the all-'O' initialization.
+    bench.tokens.pdb->DiscardDeltas();
+    world = bench.tokens.pdb->world();
+    Rng rng(271828);
+    double log_ratio = 0.0;
+    changes.resize(4096);
+    for (auto& change : changes) {
+      do {
+        change = proposal->Propose(world, rng, &log_ratio);
+      } while (change.empty());
+    }
+  }
+};
+
+void BM_LogScoreDelta(benchmark::State& state) {
+  // The hot path in isolation: one compiled model scoring pre-drawn
+  // changes through caller-owned scratch — zero hashing, zero allocation.
+  const size_t n = static_cast<size_t>(state.range(0));
+  ScoreDeltaFixture fixture(n);
+  auto scratch = fixture.bench.model->MakeScratch();
+  size_t i = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += fixture.bench.model->LogScoreDelta(fixture.world,
+                                               fixture.changes[i],
+                                               scratch.get());
+    if (++i == fixture.changes.size()) i = 0;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetLabel(std::to_string(n) + " tuples, compiled");
+}
+
+void BM_LogScoreDeltaNaive(benchmark::State& state) {
+  // Ablation: identical model and change stream, scored through per-factor
+  // Parameters::Get probes — what compilation buys.
+  const size_t n = static_cast<size_t>(state.range(0));
+  ScoreDeltaFixture fixture(n);
+  ie::SkipChainNerModel naive(fixture.bench.tokens,
+                              {.use_compiled_scoring = false});
+  naive.InitializeFromCorpusStatistics(fixture.bench.tokens);
+  auto scratch = naive.MakeScratch();
+  size_t i = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += naive.LogScoreDelta(fixture.world, fixture.changes[i],
+                                scratch.get());
+    if (++i == fixture.changes.size()) i = 0;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetLabel(std::to_string(n) + " tuples, naive Get()");
+}
+
 void BM_GibbsStep(benchmark::State& state) {
   // Gibbs resampling evaluates the local conditional for all 9 labels.
   const size_t n = static_cast<size_t>(state.range(0));
@@ -88,6 +151,10 @@ void BM_GibbsStep(benchmark::State& state) {
 BENCHMARK(BM_MhStep)->Arg(10000)->Arg(50000)->Arg(200000)
     ->Unit(benchmark::kNanosecond);
 BENCHMARK(BM_MhStepPhases)->Arg(10000)->Arg(200000)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_LogScoreDelta)->Arg(10000)->Arg(200000)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_LogScoreDeltaNaive)->Arg(10000)->Arg(200000)
     ->Unit(benchmark::kNanosecond);
 BENCHMARK(BM_MhStepLinearChain)->Arg(10000)->Arg(200000)
     ->Unit(benchmark::kNanosecond);

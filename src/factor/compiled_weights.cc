@@ -1,0 +1,58 @@
+#include "factor/compiled_weights.h"
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace factor {
+
+size_t CompiledWeights::AddTable(uint32_t rows, uint32_t cols,
+                                 std::vector<FeatureFn> terms) {
+  FGPDB_CHECK_GT(rows, 0u);
+  FGPDB_CHECK_GT(cols, 0u);
+  FGPDB_CHECK(!terms.empty());
+  Table table;
+  table.rows = rows;
+  table.cols = cols;
+  table.terms = std::move(terms);
+  table.values.assign(static_cast<size_t>(rows) * cols, 0.0);
+  tables_.push_back(std::move(table));
+  // New tables are zero-filled and untracked: force a rebuild on the next
+  // EnsureFresh even if one already ran for the current version.
+  built_version_.store(0, std::memory_order_release);
+  return tables_.size() - 1;
+}
+
+bool CompiledWeights::EnsureFresh(const Parameters& params) {
+  if (built_version_.load(std::memory_order_acquire) == params.version()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  // Another thread may have rebuilt while we waited on the lock.
+  if (built_version_.load(std::memory_order_relaxed) == params.version()) {
+    return false;
+  }
+  Rebuild(params);
+  built_version_.store(params.version(), std::memory_order_release);
+  return true;
+}
+
+void CompiledWeights::Rebuild(const Parameters& params) {
+  for (Table& table : tables_) {
+    double* out = table.values.data();
+    for (uint32_t i = 0; i < table.rows; ++i) {
+      for (uint32_t j = 0; j < table.cols; ++j) {
+        // Left-to-right term sum seeded with the first term: the exact
+        // addition order (and therefore the exact double, signed zeros
+        // included) the naive per-factor Get() scoring computes.
+        double value = params.Get(table.terms[0](i, j));
+        for (size_t t = 1; t < table.terms.size(); ++t) {
+          value += params.Get(table.terms[t](i, j));
+        }
+        *out++ = value;
+      }
+    }
+  }
+}
+
+}  // namespace factor
+}  // namespace fgpdb

@@ -1,0 +1,96 @@
+// Compiled weight tables: dense, read-optimized mirrors of Parameters.
+//
+// Templated models score by summing a handful of params.Get(feature_id)
+// probes per factor (model.h). That is the whole hot path of MCMC inference
+// — BENCH_pr4 put it at ~85% of an MH step — and each probe hashes three
+// role integers and walks a hash table. Factorie-style systems compile
+// templated factor scores into direct table lookups for exactly this
+// reason; CompiledWeights is that facility.
+//
+// A model registers one dense table per factor template (emission
+// [string × label], transition [label × label], ...), described by the
+// feature-id generators of its terms. Rebuild() fills entry (i, j) with
+//
+//   Σ_t params.Get(terms[t](i, j))     (summed in registration order)
+//
+// i.e. the *same doubles in the same addition order* the naive Get()
+// scoring produces, so compiled scores are bitwise-identical to uncompiled
+// ones. Tables refresh lazily when Parameters::version() moves, so
+// SampleRank training (which mutates weights through the normal API) keeps
+// working: the first score after an update pays one rebuild, every
+// subsequent score is pure array indexing.
+//
+// Thread-safety: EnsureFresh() is safe to call concurrently (double-checked
+// version gate; rebuilds serialize on a mutex). Concurrent scoring is safe
+// whenever concurrent *uncompiled* scoring would be, i.e. as long as nobody
+// mutates Parameters mid-inference — the same contract the parallel COW
+// chains already rely on.
+#ifndef FGPDB_FACTOR_COMPILED_WEIGHTS_H_
+#define FGPDB_FACTOR_COMPILED_WEIGHTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "factor/feature_vector.h"
+
+namespace fgpdb {
+namespace factor {
+
+class CompiledWeights {
+ public:
+  /// Feature-id generator for one additive term of a table: (i, j) -> id.
+  /// Terms for 1-D tables ignore j; constant terms ignore both.
+  using FeatureFn = std::function<FeatureId(uint32_t i, uint32_t j)>;
+
+  CompiledWeights() = default;
+  CompiledWeights(const CompiledWeights&) = delete;
+  CompiledWeights& operator=(const CompiledWeights&) = delete;
+
+  /// Registers a rows×cols dense table whose (i, j) entry mirrors the sum
+  /// of params.Get over `terms` (in order). Returns a table handle. The
+  /// backing storage is allocated here and never reallocated, so data()
+  /// pointers taken after registration stay valid across rebuilds.
+  size_t AddTable(uint32_t rows, uint32_t cols, std::vector<FeatureFn> terms);
+
+  /// Row-major entry pointer for `table`; entry (i, j) is data[i*cols + j].
+  /// Zero-filled until the first EnsureFresh().
+  const double* data(size_t table) const { return tables_[table].values.data(); }
+
+  uint32_t rows(size_t table) const { return tables_[table].rows; }
+  uint32_t cols(size_t table) const { return tables_[table].cols; }
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Rebuilds every table iff `params` changed since the last rebuild
+  /// (compared by version). The hot-path cost when fresh is one atomic
+  /// load. Returns true if a rebuild happened.
+  bool EnsureFresh(const Parameters& params);
+
+  /// True if the tables mirror `params`' current version.
+  bool fresh(const Parameters& params) const {
+    return built_version_.load(std::memory_order_acquire) == params.version();
+  }
+
+ private:
+  struct Table {
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    std::vector<FeatureFn> terms;
+    std::vector<double> values;  // rows*cols, row-major; sized at AddTable.
+  };
+
+  void Rebuild(const Parameters& params);
+
+  std::vector<Table> tables_;
+  // 0 = never built; Parameters versions start at 1, so registration-fresh
+  // tables are always considered stale until the first EnsureFresh().
+  std::atomic<uint64_t> built_version_{0};
+  std::mutex rebuild_mu_;
+};
+
+}  // namespace factor
+}  // namespace fgpdb
+
+#endif  // FGPDB_FACTOR_COMPILED_WEIGHTS_H_

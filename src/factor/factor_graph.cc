@@ -32,8 +32,16 @@ size_t FactorGraph::AddFactor(std::unique_ptr<Factor> factor) {
 
 double FactorGraph::LogScoreDelta(const World& world,
                                   const Change& change) const {
+  return LogScoreDelta(world, change, &member_scratch_);
+}
+
+double FactorGraph::LogScoreDelta(const World& world, const Change& change,
+                                  ScoreScratch* scratch) const {
+  Scratch* s = scratch != nullptr ? static_cast<Scratch*>(scratch)
+                                  : &member_scratch_;
   // Collect the factors adjacent to any changed variable, deduplicated.
-  std::vector<uint32_t> touched;
+  std::vector<uint32_t>& touched = s->touched;
+  touched.clear();
   for (const auto& a : change.assignments) {
     const auto& fs = factors_of_.at(a.var);
     touched.insert(touched.end(), fs.begin(), fs.end());
@@ -42,15 +50,20 @@ double FactorGraph::LogScoreDelta(const World& world,
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
   const PatchedWorld patched(world, change);
-  std::vector<uint32_t> old_values, new_values;
   double delta = 0.0;
   for (uint32_t f : touched) {
     const Factor& factor = *factors_[f];
-    GatherValues(factor, [&](VarId v) { return world.Get(v); }, &old_values);
-    GatherValues(factor, [&](VarId v) { return patched.Get(v); }, &new_values);
-    delta += factor.LogScore(new_values) - factor.LogScore(old_values);
+    GatherValues(factor, [&](VarId v) { return world.Get(v); },
+                 &s->old_values);
+    GatherValues(factor, [&](VarId v) { return patched.Get(v); },
+                 &s->new_values);
+    delta += factor.LogScore(s->new_values) - factor.LogScore(s->old_values);
   }
   return delta;
+}
+
+std::unique_ptr<ScoreScratch> FactorGraph::MakeScratch() const {
+  return std::make_unique<Scratch>();
 }
 
 double FactorGraph::LogScore(const World& world) const {

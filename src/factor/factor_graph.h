@@ -42,7 +42,13 @@ class FactorGraph : public Model {
   World MakeWorld() const { return World(num_variables()); }
 
   // --- Model ---------------------------------------------------------------
+  /// Convenience overload backed by member scratch: allocation-free, but
+  /// NOT safe for concurrent calls on a shared graph — concurrent callers
+  /// must use the ScoreScratch overload with per-caller scratch.
   double LogScoreDelta(const World& world, const Change& change) const override;
+  double LogScoreDelta(const World& world, const Change& change,
+                       ScoreScratch* scratch) const override;
+  std::unique_ptr<ScoreScratch> MakeScratch() const override;
   double LogScore(const World& world) const override;
   size_t num_variables() const override { return domains_.size(); }
   size_t domain_size(VarId var) const override {
@@ -50,6 +56,14 @@ class FactorGraph : public Model {
   }
 
  private:
+  /// Reusable buffers for one LogScoreDelta call (touched-factor set and
+  /// the two gathered argument tuples).
+  struct Scratch final : ScoreScratch {
+    std::vector<uint32_t> touched;
+    std::vector<uint32_t> old_values;
+    std::vector<uint32_t> new_values;
+  };
+
   /// Gathers a factor's argument values from an accessor.
   template <typename GetFn>
   void GatherValues(const Factor& factor, const GetFn& get,
@@ -62,6 +76,7 @@ class FactorGraph : public Model {
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<Factor>> factors_;
   std::vector<std::vector<uint32_t>> factors_of_;
+  mutable Scratch member_scratch_;  // Backs the scratch-less overload.
 };
 
 }  // namespace factor

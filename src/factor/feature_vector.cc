@@ -9,25 +9,27 @@ namespace factor {
 void SparseVector::Consolidate() {
   std::sort(entries_.begin(), entries_.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<std::pair<FeatureId, double>> merged;
-  merged.reserve(entries_.size());
-  for (const auto& [id, value] : entries_) {
-    if (!merged.empty() && merged.back().first == id) {
-      merged.back().second += value;
-    } else {
-      merged.push_back({id, value});
+  // In-place run merge: sum each equal-id run left to right (the same
+  // post-sort order the old copy-out implementation summed in), compact
+  // non-zero sums toward the front, shrink. No allocation.
+  size_t out = 0;
+  const size_t n = entries_.size();
+  for (size_t i = 0; i < n;) {
+    const FeatureId id = entries_[i].first;
+    double sum = entries_[i].second;
+    for (++i; i < n && entries_[i].first == id; ++i) {
+      sum += entries_[i].second;
     }
+    if (sum != 0.0) entries_[out++] = {id, sum};
   }
-  merged.erase(std::remove_if(merged.begin(), merged.end(),
-                              [](const auto& e) { return e.second == 0.0; }),
-               merged.end());
-  entries_ = std::move(merged);
+  entries_.resize(out);
 }
 
 void Parameters::UpdateSparse(const SparseVector& features, double scale) {
   for (const auto& [id, value] : features.entries()) {
-    weights_[id] += scale * value;
+    weights_.Ref(id) += scale * value;
   }
+  ++version_;
 }
 
 double Parameters::Dot(const SparseVector& features) const {
@@ -40,10 +42,7 @@ double Parameters::Dot(const SparseVector& features) const {
 
 double Parameters::Norm() const {
   double total = 0.0;
-  for (const auto& [id, w] : weights_) {
-    (void)id;
-    total += w * w;
-  }
+  weights_.ForEach([&total](uint64_t, const double& w) { total += w * w; });
   return std::sqrt(total);
 }
 

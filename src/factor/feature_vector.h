@@ -4,14 +4,20 @@
 // Features are identified by 64-bit hashed ids; SampleRank (src/learn)
 // updates weights through the same ids, so templates only have to emit
 // feature deltas.
+//
+// Parameters carries a monotonically bumped version counter: every mutation
+// moves it, so derived read-optimized structures (factor/compiled_weights.h)
+// can cache aggressively and refresh lazily — SampleRank keeps training
+// through the same Set/Update API and invalidation is automatic.
 #ifndef FGPDB_FACTOR_FEATURE_VECTOR_H_
 #define FGPDB_FACTOR_FEATURE_VECTOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/hash.h"
 
 namespace fgpdb {
@@ -19,15 +25,23 @@ namespace factor {
 
 using FeatureId = uint64_t;
 
-/// Stable feature id from a template name and up to three integer roles
-/// (e.g. ("emission", string_id, label) or ("transition", from, to)).
-inline FeatureId MakeFeatureId(std::string_view space, uint64_t a = 0,
-                               uint64_t b = 0, uint64_t c = 0) {
-  uint64_t h = HashString(space);
+/// Feature id from a pre-hashed template-space name and up to three integer
+/// roles. Hot call sites cache (or constant-fold) HashString(space) once
+/// instead of re-hashing the string literal per feature id.
+constexpr FeatureId MakeFeatureIdFromSpace(uint64_t space_hash, uint64_t a = 0,
+                                           uint64_t b = 0, uint64_t c = 0) {
+  uint64_t h = space_hash;
   h = HashCombine(h, Mix64(a ^ 0x9e3779b97f4a7c15ULL));
   h = HashCombine(h, Mix64(b ^ 0xc2b2ae3d27d4eb4fULL));
   h = HashCombine(h, Mix64(c ^ 0x165667b19e3779f9ULL));
   return h;
+}
+
+/// Stable feature id from a template name and up to three integer roles
+/// (e.g. ("emission", string_id, label) or ("transition", from, to)).
+constexpr FeatureId MakeFeatureId(std::string_view space, uint64_t a = 0,
+                                  uint64_t b = 0, uint64_t c = 0) {
+  return MakeFeatureIdFromSpace(HashString(space), a, b, c);
 }
 
 /// Sparse vector of (feature id, value); duplicate ids are allowed and are
@@ -42,18 +56,24 @@ class SparseVector {
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
 
+  /// Pre-sizes the entry buffer (capacity survives Clear, so a reused
+  /// vector on the training loop stops reallocating after warm-up).
+  void Reserve(size_t n) { entries_.reserve(n); }
+
   const std::vector<std::pair<FeatureId, double>>& entries() const {
     return entries_;
   }
 
   /// Appends all of `other` scaled by `scale` (e.g. -1 for "old" features).
   void AddScaled(const SparseVector& other, double scale) {
+    entries_.reserve(entries_.size() + other.entries_.size());
     for (const auto& [id, value] : other.entries_) {
       Add(id, value * scale);
     }
   }
 
-  /// Collapses duplicate ids (sums values, drops zeros).
+  /// Collapses duplicate ids in place (sums values, drops zeros). No
+  /// allocation beyond the existing entry buffer.
   void Consolidate();
 
  private:
@@ -61,17 +81,37 @@ class SparseVector {
 };
 
 /// Weight store θ. Reads of unknown features return 0 so models can be
-/// scored before training.
+/// scored before training. Backed by an open-addressed flat map, so even
+/// the non-compiled paths (FeatureDelta dot products, SampleRank updates,
+/// diagnostics) probe a contiguous table instead of chasing buckets.
 class Parameters {
  public:
-  double Get(FeatureId id) const {
-    const auto it = weights_.find(id);
-    return it == weights_.end() ? 0.0 : it->second;
+  Parameters() = default;
+
+  // Copies transplant the weights but keep this object's version strictly
+  // increasing, so compiled tables built against the previous weights are
+  // correctly invalidated even if the source's counter happens to be low.
+  Parameters(const Parameters& other)
+      : weights_(other.weights_), version_(other.version_) {}
+  Parameters& operator=(const Parameters& other) {
+    if (this != &other) {
+      weights_ = other.weights_;
+      version_ = std::max(version_, other.version_) + 1;
+    }
+    return *this;
   }
 
-  void Set(FeatureId id, double value) { weights_[id] = value; }
+  double Get(FeatureId id) const { return weights_.FindOr(id, 0.0); }
 
-  void Update(FeatureId id, double delta) { weights_[id] += delta; }
+  void Set(FeatureId id, double value) {
+    weights_.Set(id, value);
+    ++version_;
+  }
+
+  void Update(FeatureId id, double delta) {
+    weights_.Ref(id) += delta;
+    ++version_;
+  }
 
   /// θ += scale * features (a perceptron step).
   void UpdateSparse(const SparseVector& features, double scale);
@@ -81,11 +121,19 @@ class Parameters {
 
   size_t size() const { return weights_.size(); }
 
+  /// Pre-sizes the store for `n` features (bulk initialization).
+  void Reserve(size_t n) { weights_.Reserve(n); }
+
   /// L2 norm of the weight vector (diagnostics).
   double Norm() const;
 
+  /// Monotonic mutation counter: moves on every Set/Update/UpdateSparse
+  /// and on copy-assignment. Equal versions imply unchanged weights.
+  uint64_t version() const { return version_; }
+
  private:
-  std::unordered_map<FeatureId, double> weights_;
+  Flat64Map<double> weights_;
+  uint64_t version_ = 1;
 };
 
 }  // namespace factor

@@ -6,14 +6,33 @@
 // instantiated FactorGraphs implement it via variable→factor adjacency;
 // templated models (e.g. the skip-chain CRF in src/ie) implement it lazily
 // without ever materializing the graph, exactly as §3.4 prescribes.
+//
+// Scratch-reuse protocol: a walk takes millions of steps, and the touched-
+// factor enumeration needs working buffers whose contents never outlive one
+// call. Models expose an opaque per-caller ScoreScratch (MakeScratch());
+// the *caller* — one MetropolisHastings chain, one SampleRank trainer —
+// owns it and passes it to every scoring call, so buffers are reused
+// allocation-free across steps while a model shared by parallel COW chains
+// stays race-free (each chain brings its own scratch).
 #ifndef FGPDB_FACTOR_MODEL_H_
 #define FGPDB_FACTOR_MODEL_H_
+
+#include <memory>
 
 #include "factor/feature_vector.h"
 #include "factor/world.h"
 
 namespace fgpdb {
 namespace factor {
+
+/// Opaque reusable working memory for a model's scoring calls. Concrete
+/// models define their own subtype; a scratch may only be passed back to
+/// the model that created it. Scratch contents carry no state between
+/// calls — it is purely an allocation cache.
+class ScoreScratch {
+ public:
+  virtual ~ScoreScratch() = default;
+};
 
 class Model {
  public:
@@ -22,6 +41,20 @@ class Model {
   /// log π(w') − log π(w) for world w and hypothesized change to w'.
   /// ZX cancels (Eq. 3), so this is a plain factor-score difference.
   virtual double LogScoreDelta(const World& world, const Change& change) const = 0;
+
+  /// Allocation-free variant: `scratch` must come from this model's
+  /// MakeScratch() (nullptr is allowed and falls back to the plain
+  /// overload). Hot loops — the MH sampler, Gibbs conditionals — call
+  /// this; the default forwards for models without scratch needs.
+  virtual double LogScoreDelta(const World& world, const Change& change,
+                               ScoreScratch* scratch) const {
+    (void)scratch;
+    return LogScoreDelta(world, change);
+  }
+
+  /// Creates reusable scoring scratch for one caller (one chain). Returns
+  /// nullptr for models whose scoring needs no working buffers.
+  virtual std::unique_ptr<ScoreScratch> MakeScratch() const { return nullptr; }
 
   /// Unnormalized log π(w) over the *entire* graph. Potentially expensive —
   /// used by exact inference, tests, and diagnostics, never by the sampler.
@@ -41,6 +74,13 @@ class FeatureModel : public Model {
   /// φ(w') − φ(w) restricted to factors touched by `change`.
   virtual void FeatureDelta(const World& world, const Change& change,
                             SparseVector* out) const = 0;
+
+  /// Allocation-free variant; same scratch contract as LogScoreDelta.
+  virtual void FeatureDelta(const World& world, const Change& change,
+                            SparseVector* out, ScoreScratch* scratch) const {
+    (void)scratch;
+    FeatureDelta(world, change, out);
+  }
 
   /// The trainable weights.
   virtual Parameters& parameters() = 0;

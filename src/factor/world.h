@@ -77,17 +77,22 @@ class World {
 
 /// Read-only overlay of a Change on top of a World: what the hypothesized
 /// world w' looks like without mutating w. Used to evaluate factors on both
-/// sides of the MH acceptance ratio.
+/// sides of the MH acceptance ratio. Holds references only (no copy, no
+/// allocation — this sits on the sampler's hot path); both the world and
+/// the change must outlive the overlay.
 class PatchedWorld {
  public:
-  PatchedWorld(const World& base, const Change& change) : base_(base) {
-    for (const auto& a : change.assignments) patch_.push_back(a);
-  }
+  PatchedWorld(const World& base, const Change& change)
+      : base_(base), change_(change) {}
+  // The overlay must not outlive the change: reject temporaries outright.
+  PatchedWorld(const World& base, Change&& change) = delete;
 
   uint32_t Get(VarId var) const {
     // Reverse scan: if a change assigns the same variable twice, the last
     // assignment wins, matching World::Apply's sequential semantics.
-    for (auto it = patch_.rbegin(); it != patch_.rend(); ++it) {
+    // Linear scan: proposals touch few vars.
+    const auto& patch = change_.assignments;
+    for (auto it = patch.rbegin(); it != patch.rend(); ++it) {
       if (it->var == var) return it->value;
     }
     return base_.Get(var);
@@ -95,7 +100,7 @@ class PatchedWorld {
 
  private:
   const World& base_;
-  std::vector<Assignment> patch_;  // Linear scan: proposals touch few vars.
+  const Change& change_;
 };
 
 }  // namespace factor

@@ -87,27 +87,63 @@ EntityResolutionModel::EntityResolutionModel(std::vector<std::string> mentions,
 
 double EntityResolutionModel::LogScoreDelta(const factor::World& world,
                                             const factor::Change& change) const {
-  const factor::PatchedWorld patched(world, change);
+  return LogScoreDelta(world, change, &member_scratch_);
+}
+
+double EntityResolutionModel::LogScoreDelta(
+    const factor::World& world, const factor::Change& change,
+    factor::ScoreScratch* scratch) const {
+  DeltaScratch* s = scratch != nullptr ? static_cast<DeltaScratch*>(scratch)
+                                       : &member_scratch_;
   const size_t n = mentions_.size();
-  // Pairs with at least one changed endpoint, deduplicated.
-  std::set<std::pair<size_t, size_t>> pairs;
+  if (s->is_changed.size() != n) {
+    s->is_changed.assign(n, 0);
+    s->new_value.resize(n);
+  }
+  s->changed.clear();
   for (const auto& a : change.assignments) {
-    for (size_t j = 0; j < n; ++j) {
-      if (j == a.var) continue;
-      pairs.emplace(std::min<size_t>(a.var, j), std::max<size_t>(a.var, j));
+    if (!s->is_changed[a.var]) {
+      s->is_changed[a.var] = 1;
+      s->changed.push_back(a.var);
     }
+    s->new_value[a.var] = a.value;  // Duplicate assignments: last one wins.
   }
+  std::sort(s->changed.begin(), s->changed.end());
+
+  const auto label_new = [&](size_t v) {
+    return s->is_changed[v] ? s->new_value[v]
+                            : world.Get(static_cast<factor::VarId>(v));
+  };
+  // Enumerate the pairs with at least one changed endpoint once each, in
+  // ascending (min, max) order — the order the previous std::set-based
+  // implementation iterated in, preserving bitwise summation — without
+  // materializing the pair set.
   double delta = 0.0;
-  for (const auto& [i, j] : pairs) {
-    const auto vi = static_cast<factor::VarId>(i);
-    const auto vj = static_cast<factor::VarId>(j);
-    const bool same_new = patched.Get(vi) == patched.Get(vj);
-    const bool same_old = world.Get(vi) == world.Get(vj);
+  const auto add_pair = [&](size_t i, size_t j) {
+    const bool same_new = label_new(i) == label_new(j);
+    const bool same_old = world.Get(static_cast<factor::VarId>(i)) ==
+                          world.Get(static_cast<factor::VarId>(j));
     if (same_new != same_old) {
-      delta += (same_new ? 1.0 : -1.0) * Affinity(i, j);
+      delta += (same_new ? 1.0 : -1.0) * affinity_[i * n + j];
+    }
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (s->is_changed[i]) {
+      for (size_t j = i + 1; j < n; ++j) add_pair(i, j);
+    } else {
+      // Only pairs whose larger endpoint changed; `changed` is sorted.
+      auto it = std::upper_bound(s->changed.begin(), s->changed.end(),
+                                 static_cast<factor::VarId>(i));
+      for (; it != s->changed.end(); ++it) add_pair(i, *it);
     }
   }
+  for (factor::VarId v : s->changed) s->is_changed[v] = 0;
   return delta;
+}
+
+std::unique_ptr<factor::ScoreScratch> EntityResolutionModel::MakeScratch()
+    const {
+  return std::make_unique<DeltaScratch>();
 }
 
 double EntityResolutionModel::LogScore(const factor::World& world) const {

@@ -37,8 +37,14 @@ class EntityResolutionModel final : public factor::Model {
   }
 
   // --- factor::Model ---------------------------------------------------------
+  /// Scratch-less convenience overload backed by member scratch:
+  /// allocation-free, but NOT safe for concurrent calls on a shared model.
   double LogScoreDelta(const factor::World& world,
                        const factor::Change& change) const override;
+  double LogScoreDelta(const factor::World& world,
+                       const factor::Change& change,
+                       factor::ScoreScratch* scratch) const override;
+  std::unique_ptr<factor::ScoreScratch> MakeScratch() const override;
   double LogScore(const factor::World& world) const override;
   size_t num_variables() const override { return mentions_.size(); }
   size_t domain_size(factor::VarId) const override { return mentions_.size(); }
@@ -48,8 +54,20 @@ class EntityResolutionModel final : public factor::Model {
   std::vector<std::vector<size_t>> Clusters(const factor::World& world) const;
 
  private:
+  /// Reusable buffers for one LogScoreDelta call: the changed-variable set
+  /// (membership bitmap + sorted unique list) and their new values. The
+  /// model's analog of the dense weight tables is the affinity matrix,
+  /// which is compiled once at construction; scoring needs no hashing,
+  /// only this scratch to stay allocation-free.
+  struct DeltaScratch final : factor::ScoreScratch {
+    std::vector<uint8_t> is_changed;   // [n] membership bitmap, reset per call.
+    std::vector<uint32_t> new_value;   // [n] valid where is_changed.
+    std::vector<factor::VarId> changed;  // Sorted unique changed vars.
+  };
+
   std::vector<std::string> mentions_;
   std::vector<double> affinity_;  // Dense n*n symmetric matrix.
+  mutable DeltaScratch member_scratch_;  // Backs the scratch-less overload.
 };
 
 /// Split–merge proposal (paper §3.4): picks a mention pair; co-clustered

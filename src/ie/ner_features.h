@@ -1,0 +1,51 @@
+// Feature-id helpers for the skip-chain NER templates.
+//
+// The template-space hashes are computed at compile time (HashString is
+// constexpr), so building a feature id pays only the role-mixing steps —
+// call sites never re-hash the "emission"/"transition"/... string literals.
+// Tests and diagnostics that spell out MakeFeatureId("emission", ...) by
+// hand produce identical ids.
+#ifndef FGPDB_IE_NER_FEATURES_H_
+#define FGPDB_IE_NER_FEATURES_H_
+
+#include <cstdint>
+
+#include "factor/feature_vector.h"
+
+namespace fgpdb {
+namespace ie {
+
+inline constexpr uint64_t kEmissionSpace = HashString("emission");
+inline constexpr uint64_t kTransitionSpace = HashString("transition");
+inline constexpr uint64_t kBiasSpace = HashString("bias");
+inline constexpr uint64_t kSkipSameSpace = HashString("skip_same");
+inline constexpr uint64_t kSkipSameLabelSpace = HashString("skip_same_label");
+
+/// ψ(string_i, y_i) — string/label compatibility.
+constexpr factor::FeatureId EmissionFeature(uint32_t string_id,
+                                            uint32_t label) {
+  return factor::MakeFeatureIdFromSpace(kEmissionSpace, string_id, label);
+}
+
+/// ψ(y_i, y_{i+1}) — first-order Markov dependency.
+constexpr factor::FeatureId TransitionFeature(uint32_t from, uint32_t to) {
+  return factor::MakeFeatureIdFromSpace(kTransitionSpace, from, to);
+}
+
+/// ψ(y_i) — label frequency.
+constexpr factor::FeatureId BiasFeature(uint32_t label) {
+  return factor::MakeFeatureIdFromSpace(kBiasSpace, label);
+}
+
+// Skip features fire only when the two labels agree.
+constexpr factor::FeatureId SkipSameFeature() {
+  return factor::MakeFeatureIdFromSpace(kSkipSameSpace);
+}
+constexpr factor::FeatureId SkipSameLabelFeature(uint32_t label) {
+  return factor::MakeFeatureIdFromSpace(kSkipSameLabelSpace, label);
+}
+
+}  // namespace ie
+}  // namespace fgpdb
+
+#endif  // FGPDB_IE_NER_FEATURES_H_

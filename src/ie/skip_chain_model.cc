@@ -5,28 +5,14 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "ie/ner_features.h"
 #include "util/logging.h"
 
 namespace fgpdb {
 namespace ie {
 namespace {
 
-using factor::FeatureId;
-using factor::MakeFeatureId;
 using factor::VarId;
-
-FeatureId EmissionFeature(uint32_t string_id, uint32_t label) {
-  return MakeFeatureId("emission", string_id, label);
-}
-FeatureId TransitionFeature(uint32_t from, uint32_t to) {
-  return MakeFeatureId("transition", from, to);
-}
-FeatureId BiasFeature(uint32_t label) { return MakeFeatureId("bias", label); }
-// Skip features fire only when the two labels agree.
-FeatureId SkipSameFeature() { return MakeFeatureId("skip_same"); }
-FeatureId SkipSameLabelFeature(uint32_t label) {
-  return MakeFeatureId("skip_same_label", label);
-}
 
 bool IsCapitalized(const std::string& s) {
   return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
@@ -76,6 +62,34 @@ SkipChainNerModel::SkipChainNerModel(const TokenPdb& tokens,
       }
     }
   }
+  // Ascending partner lists make a single variable's touched skip pairs
+  // come out already in sorted-pair order — the same order the general
+  // (sort + dedupe) enumeration scores in, which keeps the fast path's
+  // floating-point summation bitwise-identical to it.
+  for (auto& partners : skip_partners_) {
+    std::sort(partners.begin(), partners.end());
+  }
+
+  // Register the dense score tables. Entry values mirror Parameters::Get
+  // sums term-by-term (see CompiledWeights), so compiled scores are
+  // bitwise-equal to the naive path. Emission and bias fold into one node
+  // table — the naive path adds them in exactly this order.
+  const auto num_strings =
+      static_cast<uint32_t>(std::max<size_t>(1, tokens.vocab.size()));
+  const size_t node = compiled_.AddTable(
+      num_strings, kNumLabels,
+      {[](uint32_t sid, uint32_t y) { return EmissionFeature(sid, y); },
+       [](uint32_t, uint32_t y) { return BiasFeature(y); }});
+  const size_t trans = compiled_.AddTable(
+      kNumLabels, kNumLabels,
+      {[](uint32_t a, uint32_t b) { return TransitionFeature(a, b); }});
+  const size_t skip = compiled_.AddTable(
+      1, kNumLabels,
+      {[](uint32_t, uint32_t) { return SkipSameFeature(); },
+       [](uint32_t, uint32_t y) { return SkipSameLabelFeature(y); }});
+  node_table_ = compiled_.data(node);
+  trans_table_ = compiled_.data(trans);
+  skip_table_ = compiled_.data(skip);
 }
 
 template <typename GetLabel>
@@ -100,23 +114,30 @@ double SkipChainNerModel::SkipScore(VarId a, VarId b,
          params_.Get(SkipSameLabelFeature(ya));
 }
 
-SkipChainNerModel::TouchedFactors SkipChainNerModel::CollectTouched(
-    const factor::Change& change) const {
-  TouchedFactors touched;
+void SkipChainNerModel::CollectTouched(const factor::Change& change,
+                                       TouchedScratch* out) const {
+  out->nodes.clear();
+  out->edges.clear();
+  out->skips.clear();
   auto add_edge = [&](VarId a, VarId b) {
     if (a == kNoVar || b == kNoVar) return;
-    touched.edges.emplace_back(a, b);
+    out->edges.emplace_back(a, b);
   };
   for (const auto& assignment : change.assignments) {
     const VarId v = assignment.var;
-    touched.nodes.push_back(v);
+    out->nodes.push_back(v);
     if (options_.use_transitions) {
       add_edge(prev_[v], v);
       add_edge(v, next_[v]);
     }
     for (VarId p : skip_partners_[v]) {
-      touched.skips.emplace_back(std::min(v, p), std::max(v, p));
+      out->skips.emplace_back(std::min(v, p), std::max(v, p));
     }
+  }
+  if (change.assignments.size() == 1) {
+    // One variable's factors are distinct by construction and already in
+    // sorted order (prev < v < next; partners ascending) — skip the sort.
+    return;
   }
   // Deduplicate factors shared between changed variables (e.g. the edge
   // between two adjacent changed tokens) so they are scored exactly once.
@@ -124,43 +145,145 @@ SkipChainNerModel::TouchedFactors SkipChainNerModel::CollectTouched(
     std::sort(items.begin(), items.end());
     items.erase(std::unique(items.begin(), items.end()), items.end());
   };
-  dedupe(touched.nodes);
-  dedupe(touched.edges);
-  dedupe(touched.skips);
-  return touched;
+  dedupe(out->nodes);
+  dedupe(out->edges);
+  dedupe(out->skips);
 }
 
-double SkipChainNerModel::LogScoreDelta(const factor::World& world,
-                                        const factor::Change& change) const {
-  const TouchedFactors touched = CollectTouched(change);
+double SkipChainNerModel::CompiledSingleDelta(const factor::World& world,
+                                              VarId var,
+                                              uint32_t new_label) const {
+  const uint32_t old_label = world.Get(var);
+  const double* node_row =
+      node_table_ + static_cast<size_t>((*string_ids_)[var]) * kNumLabels;
+  double delta = node_row[new_label] - node_row[old_label];
+  if (options_.use_transitions) {
+    const VarId p = prev_[var];
+    if (p != kNoVar) {
+      const double* row =
+          trans_table_ + static_cast<size_t>(world.Get(p)) * kNumLabels;
+      delta += row[new_label] - row[old_label];
+    }
+    const VarId nx = next_[var];
+    if (nx != kNoVar) {
+      const uint32_t yn = world.Get(nx);
+      delta += trans_table_[static_cast<size_t>(new_label) * kNumLabels + yn] -
+               trans_table_[static_cast<size_t>(old_label) * kNumLabels + yn];
+    }
+  }
+  for (VarId p : skip_partners_[var]) {
+    const uint32_t yp = world.Get(p);
+    // The skip factor fires only on label agreement; agreement makes the
+    // pair's first label equal to var's, so indexing by var's label reads
+    // the same entry the pairwise enumeration does.
+    const double score_new = new_label == yp ? skip_table_[new_label] : 0.0;
+    const double score_old = old_label == yp ? skip_table_[old_label] : 0.0;
+    delta += score_new - score_old;
+  }
+  return delta;
+}
+
+double SkipChainNerModel::CompiledLogScoreDelta(const factor::World& world,
+                                                const factor::Change& change,
+                                                TouchedScratch* scratch) const {
+  CollectTouched(change, scratch);
+  const factor::PatchedWorld patched(world, change);
+  double delta = 0.0;
+  for (VarId v : scratch->nodes) {
+    const double* node_row =
+        node_table_ + static_cast<size_t>((*string_ids_)[v]) * kNumLabels;
+    delta += node_row[patched.Get(v)] - node_row[world.Get(v)];
+  }
+  for (const auto& [a, b] : scratch->edges) {
+    delta += trans_table_[static_cast<size_t>(patched.Get(a)) * kNumLabels +
+                          patched.Get(b)] -
+             trans_table_[static_cast<size_t>(world.Get(a)) * kNumLabels +
+                          world.Get(b)];
+  }
+  for (const auto& [a, b] : scratch->skips) {
+    const uint32_t na = patched.Get(a);
+    const double score_new = na == patched.Get(b) ? skip_table_[na] : 0.0;
+    const uint32_t oa = world.Get(a);
+    const double score_old = oa == world.Get(b) ? skip_table_[oa] : 0.0;
+    delta += score_new - score_old;
+  }
+  return delta;
+}
+
+double SkipChainNerModel::NaiveLogScoreDelta(const factor::World& world,
+                                             const factor::Change& change,
+                                             TouchedScratch* scratch) const {
+  CollectTouched(change, scratch);
   const factor::PatchedWorld patched(world, change);
   const auto old_label = [&](VarId v) { return world.Get(v); };
   const auto new_label = [&](VarId v) { return patched.Get(v); };
   double delta = 0.0;
-  for (VarId v : touched.nodes) {
+  for (VarId v : scratch->nodes) {
     delta += NodeScore(v, new_label) - NodeScore(v, old_label);
   }
-  for (const auto& [a, b] : touched.edges) {
+  for (const auto& [a, b] : scratch->edges) {
     delta += EdgeScore(a, b, new_label) - EdgeScore(a, b, old_label);
   }
-  for (const auto& [a, b] : touched.skips) {
+  for (const auto& [a, b] : scratch->skips) {
     delta += SkipScore(a, b, new_label) - SkipScore(a, b, old_label);
   }
   return delta;
 }
 
+double SkipChainNerModel::LogScoreDelta(const factor::World& world,
+                                        const factor::Change& change) const {
+  return LogScoreDelta(world, change, &member_scratch_);
+}
+
+double SkipChainNerModel::LogScoreDelta(const factor::World& world,
+                                        const factor::Change& change,
+                                        factor::ScoreScratch* scratch) const {
+  TouchedScratch* s = scratch != nullptr
+                          ? static_cast<TouchedScratch*>(scratch)
+                          : &member_scratch_;
+  if (!options_.use_compiled_scoring) {
+    return NaiveLogScoreDelta(world, change, s);
+  }
+  EnsureCompiled();
+  if (change.assignments.size() == 1) {
+    const auto& a = change.assignments[0];
+    return CompiledSingleDelta(world, a.var, a.value);
+  }
+  return CompiledLogScoreDelta(world, change, s);
+}
+
+std::unique_ptr<factor::ScoreScratch> SkipChainNerModel::MakeScratch() const {
+  return std::make_unique<TouchedScratch>();
+}
+
 double SkipChainNerModel::LogScore(const factor::World& world) const {
   const auto label = [&](VarId v) { return world.Get(v); };
-  double total = 0.0;
   const size_t n = num_variables();
+  double total = 0.0;
+  if (!options_.use_compiled_scoring) {
+    for (size_t i = 0; i < n; ++i) {
+      const VarId v = static_cast<VarId>(i);
+      total += NodeScore(v, label);
+      if (options_.use_transitions && next_[v] != kNoVar) {
+        total += EdgeScore(v, next_[v], label);
+      }
+      for (VarId p : skip_partners_[v]) {
+        if (p > v) total += SkipScore(v, p, label);  // Count each pair once.
+      }
+    }
+    return total;
+  }
+  EnsureCompiled();
   for (size_t i = 0; i < n; ++i) {
     const VarId v = static_cast<VarId>(i);
-    total += NodeScore(v, label);
+    const uint32_t y = world.Get(v);
+    total += node_table_[static_cast<size_t>((*string_ids_)[v]) * kNumLabels + y];
     if (options_.use_transitions && next_[v] != kNoVar) {
-      total += EdgeScore(v, next_[v], label);
+      total += trans_table_[static_cast<size_t>(y) * kNumLabels +
+                            world.Get(next_[v])];
     }
     for (VarId p : skip_partners_[v]) {
-      if (p > v) total += SkipScore(v, p, label);  // Count each pair once.
+      if (p > v && y == world.Get(p)) total += skip_table_[y];
     }
   }
   return total;
@@ -169,12 +292,22 @@ double SkipChainNerModel::LogScore(const factor::World& world) const {
 void SkipChainNerModel::FeatureDelta(const factor::World& world,
                                      const factor::Change& change,
                                      factor::SparseVector* out) const {
-  const TouchedFactors touched = CollectTouched(change);
+  FeatureDelta(world, change, out, &member_scratch_);
+}
+
+void SkipChainNerModel::FeatureDelta(const factor::World& world,
+                                     const factor::Change& change,
+                                     factor::SparseVector* out,
+                                     factor::ScoreScratch* scratch) const {
+  TouchedScratch* s = scratch != nullptr
+                          ? static_cast<TouchedScratch*>(scratch)
+                          : &member_scratch_;
+  CollectTouched(change, s);
   const factor::PatchedWorld patched(world, change);
   const auto old_label = [&](VarId v) { return world.Get(v); };
   const auto new_label = [&](VarId v) { return patched.Get(v); };
 
-  for (VarId v : touched.nodes) {
+  for (VarId v : s->nodes) {
     const uint32_t sid = (*string_ids_)[v];
     const uint32_t y_new = new_label(v);
     const uint32_t y_old = old_label(v);
@@ -184,11 +317,11 @@ void SkipChainNerModel::FeatureDelta(const factor::World& world,
     out->Add(EmissionFeature(sid, y_old), -1.0);
     out->Add(BiasFeature(y_old), -1.0);
   }
-  for (const auto& [a, b] : touched.edges) {
+  for (const auto& [a, b] : s->edges) {
     out->Add(TransitionFeature(new_label(a), new_label(b)), 1.0);
     out->Add(TransitionFeature(old_label(a), old_label(b)), -1.0);
   }
-  for (const auto& [a, b] : touched.skips) {
+  for (const auto& [a, b] : s->skips) {
     const uint32_t na = new_label(a);
     if (na == new_label(b)) {
       out->Add(SkipSameFeature(), 1.0);
@@ -222,6 +355,10 @@ void SkipChainNerModel::InitializeFromCorpusStatistics(const TokenPdb& tokens,
   for (size_t i = 0; i < tokens.num_tokens(); ++i) {
     string_totals[tokens.string_ids[i]] += 1.0;
   }
+  // One emission weight per (string, label), plus biases, transitions, and
+  // the skip features — size the store once instead of growing through it.
+  params_.Reserve(string_totals.size() * kNumLabels + kNumLabels +
+                  kNumLabels * kNumLabels + 1 + kNumLabels);
   for (const auto& [sid, total] : string_totals) {
     for (uint32_t y = 0; y < kNumLabels; ++y) {
       const auto it = counts.find((static_cast<uint64_t>(sid) << 8) | y);

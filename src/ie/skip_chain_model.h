@@ -12,11 +12,23 @@
 // The model is *templated*: no factor objects are instantiated. Score and
 // feature deltas are computed lazily from the variables a Change touches
 // (paper §3.4 / Appendix 9.2), so an MH step costs O(1) w.r.t. corpus size.
+//
+// Scoring is *compiled* (factor/compiled_weights.h): the per-template
+// weights are materialized into dense tables — node [string × label]
+// (emission + bias folded), transition [label × label], skip-agreement
+// [label] — so a walk step is pure array indexing: zero hashing, zero
+// allocation. Tables hold the same doubles Parameters::Get returns and
+// refresh lazily when the parameter version moves, so SampleRank training
+// and compiled inference compose; scores are bitwise-identical to the
+// uncompiled path (kept available via use_compiled_scoring=false as the
+// parity reference and ablation).
 #ifndef FGPDB_IE_SKIP_CHAIN_MODEL_H_
 #define FGPDB_IE_SKIP_CHAIN_MODEL_H_
 
+#include <memory>
 #include <vector>
 
+#include "factor/compiled_weights.h"
 #include "factor/model.h"
 #include "ie/token_pdb.h"
 
@@ -32,18 +44,30 @@ struct SkipChainOptions {
   /// Skip groups larger than this fall back to consecutive-occurrence
   /// chaining to bound the quadratic pair count.
   size_t max_skip_group = 24;
+  /// Score from the compiled dense tables (the default). false = probe
+  /// Parameters::Get per factor side — the reference implementation the
+  /// compiled layer is tested bitwise against, and the ablation measuring
+  /// what compilation buys.
+  bool use_compiled_scoring = true;
 };
 
 class SkipChainNerModel final : public factor::FeatureModel {
  public:
   /// The model keeps pointers into `tokens` (string ids, doc structure);
   /// `tokens` must outlive the model. Thread-safe for concurrent scoring
-  /// once constructed (parameters are read-only during inference).
+  /// once constructed (parameters are read-only during inference), as long
+  /// as concurrent callers pass their own MakeScratch() scratch.
   SkipChainNerModel(const TokenPdb& tokens, SkipChainOptions options = {});
 
   // --- factor::Model --------------------------------------------------------
+  /// Scratch-less convenience overload backed by member scratch:
+  /// allocation-free, but NOT safe for concurrent calls on a shared model.
   double LogScoreDelta(const factor::World& world,
                        const factor::Change& change) const override;
+  double LogScoreDelta(const factor::World& world,
+                       const factor::Change& change,
+                       factor::ScoreScratch* scratch) const override;
+  std::unique_ptr<factor::ScoreScratch> MakeScratch() const override;
   double LogScore(const factor::World& world) const override;
   size_t num_variables() const override { return string_ids_->size(); }
   size_t domain_size(factor::VarId) const override { return kNumLabels; }
@@ -51,16 +75,24 @@ class SkipChainNerModel final : public factor::FeatureModel {
   // --- factor::FeatureModel --------------------------------------------------
   void FeatureDelta(const factor::World& world, const factor::Change& change,
                     factor::SparseVector* out) const override;
+  void FeatureDelta(const factor::World& world, const factor::Change& change,
+                    factor::SparseVector* out,
+                    factor::ScoreScratch* scratch) const override;
   factor::Parameters& parameters() override { return params_; }
   const factor::Parameters& parameters() const override { return params_; }
 
-  /// Skip partners of a variable (same-document, same-string tokens).
+  /// Skip partners of a variable (same-document, same-string tokens),
+  /// sorted ascending.
   const std::vector<factor::VarId>& SkipPartners(factor::VarId var) const {
     return skip_partners_.at(var);
   }
 
   /// Number of skip edges instantiated (diagnostics; each edge counted once).
   size_t num_skip_edges() const { return num_skip_edges_; }
+
+  /// True if the compiled tables mirror the current parameters (they
+  /// refresh lazily on the next scoring call after a weight update).
+  bool compiled_fresh() const { return compiled_.fresh(params_); }
 
   /// Seeds emission/bias/transition weights from simple corpus statistics
   /// (log-odds of TRUTH labels). Gives a usable model without running
@@ -72,7 +104,8 @@ class SkipChainNerModel final : public factor::FeatureModel {
  private:
   static constexpr factor::VarId kNoVar = ~0u;
 
-  // Per-factor log scores under a label accessor.
+  // Per-factor log scores under a label accessor (the uncompiled reference
+  // path; the compiled path reads the same values from the dense tables).
   template <typename GetLabel>
   double NodeScore(factor::VarId v, const GetLabel& get) const;
   template <typename GetLabel>
@@ -80,14 +113,34 @@ class SkipChainNerModel final : public factor::FeatureModel {
   template <typename GetLabel>
   double SkipScore(factor::VarId a, factor::VarId b, const GetLabel& get) const;
 
-  // Enumerates the factor instances touched by `change`, deduplicated:
-  // nodes, chain edges, skip edges.
-  struct TouchedFactors {
+  /// Reusable buffers for the factor instances one change touches:
+  /// nodes, chain edges, skip edges. Purely an allocation cache.
+  struct TouchedScratch final : factor::ScoreScratch {
     std::vector<factor::VarId> nodes;
     std::vector<std::pair<factor::VarId, factor::VarId>> edges;
     std::vector<std::pair<factor::VarId, factor::VarId>> skips;
   };
-  TouchedFactors CollectTouched(const factor::Change& change) const;
+
+  // Enumerates the touched factor instances into `out`, deduplicated so
+  // factors shared between changed variables are scored exactly once.
+  void CollectTouched(const factor::Change& change, TouchedScratch* out) const;
+
+  /// Rebuilds the dense tables if the parameter version moved.
+  void EnsureCompiled() const { compiled_.EnsureFresh(params_); }
+
+  /// Single-assignment fast path: the §5.1 kernel flips one label per
+  /// step, and for one variable the touched enumeration is already sorted
+  /// and duplicate-free (skip partners are kept ascending), so this skips
+  /// scratch, sorting, and patched-world scans outright.
+  double CompiledSingleDelta(const factor::World& world, factor::VarId var,
+                             uint32_t new_label) const;
+
+  double CompiledLogScoreDelta(const factor::World& world,
+                               const factor::Change& change,
+                               TouchedScratch* scratch) const;
+  double NaiveLogScoreDelta(const factor::World& world,
+                            const factor::Change& change,
+                            TouchedScratch* scratch) const;
 
   const std::vector<uint32_t>* string_ids_;
   SkipChainOptions options_;
@@ -96,6 +149,15 @@ class SkipChainNerModel final : public factor::FeatureModel {
   std::vector<factor::VarId> next_;
   std::vector<std::vector<factor::VarId>> skip_partners_;
   size_t num_skip_edges_ = 0;
+
+  // Compiled scoring state. The tables' backing storage never moves, so
+  // the raw row pointers below stay valid across lazy rebuilds. mutable:
+  // refreshed from const scoring paths (thread-safe, see CompiledWeights).
+  mutable factor::CompiledWeights compiled_;
+  const double* node_table_ = nullptr;   // [num_strings × kNumLabels]
+  const double* trans_table_ = nullptr;  // [kNumLabels × kNumLabels]
+  const double* skip_table_ = nullptr;   // [kNumLabels], both-labels-agree
+  mutable TouchedScratch member_scratch_;  // Backs the scratch-less overload.
 };
 
 }  // namespace ie

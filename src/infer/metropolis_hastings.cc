@@ -12,7 +12,11 @@ namespace infer {
 MetropolisHastings::MetropolisHastings(const factor::Model& model,
                                        factor::World* world,
                                        Proposal* proposal, uint64_t seed)
-    : model_(model), world_(world), proposal_(proposal), rng_(seed) {
+    : model_(model),
+      world_(world),
+      proposal_(proposal),
+      rng_(seed),
+      score_scratch_(model.MakeScratch()) {
   FGPDB_CHECK(world_ != nullptr);
   FGPDB_CHECK(proposal_ != nullptr);
 }
@@ -44,7 +48,8 @@ bool MetropolisHastings::StepImpl() {
     ++num_accepted_;
     return true;
   }
-  const double log_model_ratio = model_.LogScoreDelta(*world_, change);
+  const double log_model_ratio =
+      model_.LogScoreDelta(*world_, change, score_scratch_.get());
   const double log_alpha = log_model_ratio + log_proposal_ratio;
   bool accept = log_alpha >= 0.0;
   if (!accept) accept = rng_.Uniform() < std::exp(log_alpha);

@@ -12,6 +12,7 @@
 #define FGPDB_INFER_METROPOLIS_HASTINGS_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "factor/model.h"
@@ -90,6 +91,10 @@ class MetropolisHastings {
   Proposal* proposal_;
   Rng rng_;
   std::vector<Listener> listeners_;
+  /// Per-chain scoring scratch (model.MakeScratch()): each sampler owns its
+  /// buffers, so scoring allocates nothing per step and parallel chains
+  /// sharing one model never share mutable state.
+  std::unique_ptr<factor::ScoreScratch> score_scratch_;
   /// Step() body; kTimed compiles the phase clock reads in or out, so the
   /// detached (default) path pays nothing for the profiling hook.
   template <bool kTimed>

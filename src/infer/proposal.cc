@@ -19,15 +19,13 @@ factor::Change GibbsProposal::Propose(const factor::World& world, Rng& rng,
 
   // Conditional log-weights: delta of moving var to each candidate value
   // (the current value has delta 0 by definition).
-  std::vector<double> log_weights(k);
+  std::vector<double>& log_weights = log_weights_;
+  log_weights.assign(k, 0.0);
   for (uint32_t v = 0; v < k; ++v) {
-    if (v == old_value) {
-      log_weights[v] = 0.0;
-      continue;
-    }
-    factor::Change candidate;
-    candidate.Set(var, v);
-    log_weights[v] = model_.LogScoreDelta(world, candidate);
+    if (v == old_value) continue;
+    candidate_.assignments.clear();
+    candidate_.Set(var, v);
+    log_weights[v] = model_.LogScoreDelta(world, candidate_, scratch_.get());
   }
   const uint32_t new_value = static_cast<uint32_t>(rng.LogCategorical(log_weights));
 

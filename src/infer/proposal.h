@@ -6,6 +6,9 @@
 #ifndef FGPDB_INFER_PROPOSAL_H_
 #define FGPDB_INFER_PROPOSAL_H_
 
+#include <memory>
+#include <vector>
+
 #include "factor/model.h"
 #include "factor/world.h"
 #include "util/rng.h"
@@ -52,13 +55,20 @@ class UniformSingleVariableProposal final : public Proposal {
 /// the MH acceptance probability exactly 1, so the chain never rejects.
 class GibbsProposal final : public Proposal {
  public:
-  explicit GibbsProposal(const factor::Model& model) : model_(model) {}
+  explicit GibbsProposal(const factor::Model& model)
+      : model_(model), scratch_(model.MakeScratch()) {}
 
   factor::Change Propose(const factor::World& world, Rng& rng,
                          double* log_ratio) override;
 
  private:
   const factor::Model& model_;
+  // Reused across Propose calls: the per-candidate Change, the conditional
+  // log-weights, and the model's scoring scratch — a Gibbs move scores
+  // every candidate value, so this loop is as hot as the sampler itself.
+  std::unique_ptr<factor::ScoreScratch> scratch_;
+  factor::Change candidate_;
+  std::vector<double> log_weights_;
 };
 
 }  // namespace infer

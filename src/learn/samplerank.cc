@@ -13,7 +13,8 @@ SampleRank::SampleRank(factor::FeatureModel* model, infer::Proposal* proposal,
       proposal_(proposal),
       objective_(objective),
       options_(options),
-      rng_(options.seed) {
+      rng_(options.seed),
+      score_scratch_(model != nullptr ? model->MakeScratch() : nullptr) {
   FGPDB_CHECK(model_ != nullptr);
   FGPDB_CHECK(proposal_ != nullptr);
   FGPDB_CHECK(objective_ != nullptr);
@@ -23,6 +24,9 @@ SampleRankStats SampleRank::Train(factor::World* world, uint64_t steps) {
   FGPDB_CHECK(world != nullptr);
   SampleRankStats stats;
   factor::SparseVector delta_features;
+  // A jump's feature delta is a few entries per touched factor; one
+  // up-front reservation keeps the reused vector allocation-free.
+  delta_features.Reserve(64);
   for (uint64_t i = 0; i < steps; ++i) {
     ++stats.proposals;
     double log_ratio = 0.0;
@@ -31,7 +35,8 @@ SampleRankStats SampleRank::Train(factor::World* world, uint64_t steps) {
 
     const double objective_delta = objective_->Delta(*world, change);
     delta_features.Clear();
-    model_->FeatureDelta(*world, change, &delta_features);
+    model_->FeatureDelta(*world, change, &delta_features,
+                         score_scratch_.get());
     const double model_delta = model_->parameters().Dot(delta_features);
 
     // Perceptron step on rank disagreement (margin 0).

@@ -10,6 +10,7 @@
 #define FGPDB_LEARN_SAMPLERANK_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "factor/model.h"
 #include "infer/proposal.h"
@@ -50,6 +51,9 @@ class SampleRank {
   const Objective* objective_;
   SampleRankOptions options_;
   Rng rng_;
+  /// The trainer's own scoring scratch (model->MakeScratch()), reused for
+  /// every FeatureDelta so the training loop stops allocating per proposal.
+  std::unique_ptr<factor::ScoreScratch> score_scratch_;
 };
 
 }  // namespace learn

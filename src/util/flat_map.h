@@ -1,0 +1,147 @@
+// Open-addressed hash map for 64-bit keys (linear probing, power-of-two
+// capacity). Built for the weight store on the sampler's hot path: a probe
+// is one mix, one masked index, and a short contiguous scan — no buckets,
+// no per-node allocations, no pointer chasing.
+//
+// Key 0 is used as the empty-slot sentinel internally; it is still a valid
+// user key (stored in a dedicated side slot), so callers may feed arbitrary
+// 64-bit hashes without reserving a value.
+#ifndef FGPDB_UTIL_FLAT_MAP_H_
+#define FGPDB_UTIL_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+
+/// Flat hash map from uint64_t to `Value`. Values must be cheap to copy
+/// (rehashing moves them by assignment). Iteration order is unspecified.
+template <typename Value>
+class Flat64Map {
+ public:
+  Flat64Map() = default;
+
+  size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+
+  /// Value stored under `key`, or `fallback` if absent. Never inserts.
+  Value FindOr(uint64_t key, Value fallback) const {
+    if (key == 0) return has_zero_ ? zero_value_ : fallback;
+    if (keys_.empty()) return fallback;
+    size_t i = Mix64(key) & mask_;
+    while (true) {
+      const uint64_t k = keys_[i];
+      if (k == key) return values_[i];
+      if (k == 0) return fallback;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// True if `key` is present.
+  bool Contains(uint64_t key) const {
+    if (key == 0) return has_zero_;
+    if (keys_.empty()) return false;
+    size_t i = Mix64(key) & mask_;
+    while (true) {
+      const uint64_t k = keys_[i];
+      if (k == key) return true;
+      if (k == 0) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Reference to the value under `key`, inserting a default-constructed
+  /// value if absent. Invalidated by the next insertion. Updating a
+  /// present key never rehashes (the table only grows on actual inserts).
+  Value& Ref(uint64_t key) {
+    if (key == 0) {
+      if (!has_zero_) {
+        has_zero_ = true;
+        zero_value_ = Value{};
+      }
+      return zero_value_;
+    }
+    if (keys_.empty()) GrowIfNeeded(1);
+    size_t i = Mix64(key) & mask_;
+    while (keys_[i] != 0) {
+      if (keys_[i] == key) return values_[i];
+      i = (i + 1) & mask_;
+    }
+    // Absent: insert. Growing may rehash, so re-probe for the new slot.
+    GrowIfNeeded(size_ + 1);
+    i = Mix64(key) & mask_;
+    while (keys_[i] != 0) i = (i + 1) & mask_;
+    keys_[i] = key;
+    values_[i] = Value{};
+    ++size_;
+    return values_[i];
+  }
+
+  void Set(uint64_t key, Value value) { Ref(key) = std::move(value); }
+
+  /// Pre-sizes the table for `n` keys (no-op if already large enough).
+  void Reserve(size_t n) { GrowIfNeeded(n); }
+
+  /// Calls fn(key, const Value&) for every entry, unspecified order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    if (has_zero_) fn(uint64_t{0}, zero_value_);
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0) fn(keys_[i], values_[i]);
+    }
+  }
+
+  void Clear() {
+    keys_.clear();
+    values_.clear();
+    mask_ = 0;
+    size_ = 0;
+    has_zero_ = false;
+    zero_value_ = Value{};
+  }
+
+ private:
+  // Grows when the table would exceed ~7/8 load at `needed` entries; the
+  // high load factor trades a slightly longer probe for cache-resident
+  // tables (probes are contiguous, so the scan stays in-line).
+  void GrowIfNeeded(size_t needed) {
+    if (keys_.size() >= 16 && needed * 8 <= keys_.size() * 7) return;
+    size_t capacity = keys_.empty() ? 16 : keys_.size() * 2;
+    while (needed * 8 > capacity * 7) capacity *= 2;
+    Rehash(capacity);
+  }
+
+  void Rehash(size_t capacity) {
+    FGPDB_CHECK((capacity & (capacity - 1)) == 0) << "capacity not power of 2";
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    keys_.assign(capacity, 0);
+    values_.assign(capacity, Value{});
+    mask_ = capacity - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == 0) continue;
+      size_t j = Mix64(old_keys[i]) & mask_;
+      while (keys_[j] != 0) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      values_[j] = std::move(old_values[i]);
+      ++size_;
+    }
+  }
+
+  std::vector<uint64_t> keys_;  // 0 = empty slot.
+  std::vector<Value> values_;
+  size_t mask_ = 0;
+  size_t size_ = 0;       // Entries excluding the key-0 side slot.
+  bool has_zero_ = false;
+  Value zero_value_{};
+};
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_UTIL_FLAT_MAP_H_

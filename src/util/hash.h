@@ -1,4 +1,7 @@
 // Hashing utilities used by tuple keys, multiset maps, and feature vectors.
+//
+// Everything here is constexpr so that hashes of compile-time-known inputs
+// (e.g. the feature-template space names in src/ie) fold to constants.
 #ifndef FGPDB_UTIL_HASH_H_
 #define FGPDB_UTIL_HASH_H_
 
@@ -9,24 +12,26 @@
 
 namespace fgpdb {
 
-/// 64-bit FNV-1a over raw bytes.
-inline uint64_t Fnv1a(const void* data, size_t len,
-                      uint64_t seed = 0xcbf29ce484222325ULL) {
-  const auto* p = static_cast<const unsigned char*>(data);
+/// 64-bit FNV-1a over a string view (constexpr-friendly byte loop).
+constexpr uint64_t HashString(std::string_view s,
+                              uint64_t seed = 0xcbf29ce484222325ULL) {
   uint64_t h = seed;
-  for (size_t i = 0; i < len; ++i) {
-    h ^= p[i];
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
   }
   return h;
 }
 
-inline uint64_t HashString(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
-  return Fnv1a(s.data(), s.size(), seed);
+/// 64-bit FNV-1a over raw bytes.
+inline uint64_t Fnv1a(const void* data, size_t len,
+                      uint64_t seed = 0xcbf29ce484222325ULL) {
+  return HashString(
+      std::string_view(static_cast<const char*>(data), len), seed);
 }
 
 /// Mixes a 64-bit value (finalizer from MurmurHash3).
-inline uint64_t Mix64(uint64_t x) {
+constexpr uint64_t Mix64(uint64_t x) {
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdULL;
   x ^= x >> 33;
@@ -36,7 +41,7 @@ inline uint64_t Mix64(uint64_t x) {
 }
 
 /// Order-dependent combination of two hashes.
-inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
   return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 

@@ -1,0 +1,250 @@
+// The compiled scoring layer's contract (factor/compiled_weights.h): dense
+// tables return bit-for-bit the doubles the naive Parameters::Get scoring
+// computes, tables refresh lazily when the parameter version moves, and the
+// scratch-reuse protocol changes no results.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "factor/compiled_weights.h"
+#include "ie/corpus.h"
+#include "ie/entity_resolution.h"
+#include "ie/ner_features.h"
+#include "ie/ner_proposal.h"
+#include "ie/skip_chain_model.h"
+#include "ie/token_pdb.h"
+#include "learn/objective.h"
+#include "learn/samplerank.h"
+#include "util/rng.h"
+
+namespace fgpdb {
+namespace ie {
+namespace {
+
+struct CompiledVsNaive {
+  TokenPdb tokens;
+  std::unique_ptr<SkipChainNerModel> compiled;
+  std::unique_ptr<SkipChainNerModel> naive;
+  factor::World world;
+
+  explicit CompiledVsNaive(size_t num_tokens, uint64_t seed) {
+    const SyntheticCorpus corpus = GenerateCorpus(
+        {.num_tokens = num_tokens, .tokens_per_doc = 60, .seed = seed});
+    tokens = BuildTokenPdb(corpus);
+    compiled = std::make_unique<SkipChainNerModel>(tokens);
+    naive = std::make_unique<SkipChainNerModel>(
+        tokens, SkipChainOptions{.use_compiled_scoring = false});
+    compiled->InitializeFromCorpusStatistics(tokens);
+    naive->InitializeFromCorpusStatistics(tokens);
+    world = factor::World(tokens.num_tokens());
+  }
+
+  /// Randomizes the world's labels in place.
+  void ShuffleWorld(Rng& rng) {
+    for (size_t v = 0; v < world.size(); ++v) {
+      world.Set(static_cast<factor::VarId>(v),
+                static_cast<uint32_t>(rng.UniformInt(kNumLabels)));
+    }
+  }
+
+  /// A random change touching 1..4 variables (duplicates allowed, so the
+  /// last-assignment-wins overlay semantics get exercised too).
+  factor::Change RandomChange(Rng& rng) const {
+    factor::Change change;
+    const size_t k = 1 + rng.UniformInt(4);
+    for (size_t i = 0; i < k; ++i) {
+      change.Set(
+          static_cast<factor::VarId>(rng.UniformInt(tokens.num_tokens())),
+          static_cast<uint32_t>(rng.UniformInt(kNumLabels)));
+    }
+    return change;
+  }
+};
+
+// The randomized parity oracle: compiled scoring must equal the naive
+// Parameters::Get path bitwise over ~1k random changes, with and without
+// caller-provided scratch.
+TEST(CompiledScoringTest, RandomizedParityOracle) {
+  CompiledVsNaive fixture(1200, 71);
+  Rng rng(2024);
+  auto compiled_scratch = fixture.compiled->MakeScratch();
+  ASSERT_NE(compiled_scratch, nullptr);
+  for (int round = 0; round < 1000; ++round) {
+    if (round % 50 == 0) fixture.ShuffleWorld(rng);
+    const factor::Change change = fixture.RandomChange(rng);
+    const double naive = fixture.naive->LogScoreDelta(fixture.world, change);
+    // Bitwise equality, not ASSERT_NEAR: the tables must hold the *same
+    // doubles* Get() returns, added in the same order.
+    ASSERT_EQ(naive, fixture.compiled->LogScoreDelta(fixture.world, change))
+        << "scratch-less parity broke at round " << round;
+    ASSERT_EQ(naive, fixture.compiled->LogScoreDelta(fixture.world, change,
+                                                     compiled_scratch.get()))
+        << "scratch parity broke at round " << round;
+  }
+}
+
+TEST(CompiledScoringTest, FullLogScoreParity) {
+  CompiledVsNaive fixture(800, 13);
+  Rng rng(5);
+  for (int round = 0; round < 5; ++round) {
+    fixture.ShuffleWorld(rng);
+    ASSERT_NEAR(fixture.naive->LogScore(fixture.world),
+                fixture.compiled->LogScore(fixture.world), 1e-9);
+  }
+}
+
+TEST(CompiledScoringTest, FeatureDeltaDotEqualsCompiledScoreDelta) {
+  CompiledVsNaive fixture(600, 29);
+  Rng rng(17);
+  fixture.ShuffleWorld(rng);
+  auto scratch = fixture.compiled->MakeScratch();
+  factor::SparseVector features;
+  for (int round = 0; round < 200; ++round) {
+    const factor::Change change = fixture.RandomChange(rng);
+    features.Clear();
+    fixture.compiled->FeatureDelta(fixture.world, change, &features,
+                                   scratch.get());
+    ASSERT_NEAR(fixture.compiled->parameters().Dot(features),
+                fixture.compiled->LogScoreDelta(fixture.world, change,
+                                                scratch.get()),
+                1e-9);
+  }
+}
+
+// Weight mutations move Parameters::version(); the next scoring call must
+// rebuild the tables and agree with the naive path again — the invariant
+// that lets SampleRank training and compiled inference compose.
+TEST(CompiledScoringTest, ParameterUpdateInvalidatesTables) {
+  CompiledVsNaive fixture(500, 43);
+  Rng rng(99);
+  fixture.ShuffleWorld(rng);
+
+  // Warm the tables.
+  const factor::Change probe = fixture.RandomChange(rng);
+  (void)fixture.compiled->LogScoreDelta(fixture.world, probe);
+  ASSERT_TRUE(fixture.compiled->compiled_fresh());
+
+  // A direct perceptron-style update through the Parameters API.
+  const uint64_t before = fixture.compiled->parameters().version();
+  fixture.compiled->parameters().Update(
+      EmissionFeature(fixture.tokens.string_ids[0], 3), 0.75);
+  fixture.naive->parameters().Update(
+      EmissionFeature(fixture.tokens.string_ids[0], 3), 0.75);
+  EXPECT_GT(fixture.compiled->parameters().version(), before);
+  EXPECT_FALSE(fixture.compiled->compiled_fresh());
+
+  for (int round = 0; round < 100; ++round) {
+    const factor::Change change = fixture.RandomChange(rng);
+    ASSERT_EQ(fixture.naive->LogScoreDelta(fixture.world, change),
+              fixture.compiled->LogScoreDelta(fixture.world, change));
+  }
+  EXPECT_TRUE(fixture.compiled->compiled_fresh());
+}
+
+// End-to-end invalidation: run real SampleRank steps on the compiled model
+// (training goes through UpdateSparse), then check parity against a naive
+// model handed the trained weights.
+TEST(CompiledScoringTest, SampleRankTrainingRefreshesTables) {
+  CompiledVsNaive fixture(400, 57);
+  learn::LabelAccuracyObjective objective(fixture.tokens.truth);
+  DocumentBatchProposal proposal(&fixture.tokens.docs,
+                                 {.proposals_per_batch = 50});
+  learn::SampleRank trainer(fixture.compiled.get(), &proposal, &objective,
+                            {.learning_rate = 0.5, .seed = 11});
+  factor::World train_world(fixture.tokens.num_tokens());
+  // Interleave training (version bumps) with compiled scoring (rebuilds).
+  Rng rng(303);
+  for (int phase = 0; phase < 4; ++phase) {
+    const learn::SampleRankStats stats = trainer.Train(&train_world, 500);
+    EXPECT_GT(stats.proposals, 0u);
+    fixture.naive->parameters() = fixture.compiled->parameters();
+    fixture.ShuffleWorld(rng);
+    for (int round = 0; round < 100; ++round) {
+      const factor::Change change = fixture.RandomChange(rng);
+      ASSERT_EQ(fixture.naive->LogScoreDelta(fixture.world, change),
+                fixture.compiled->LogScoreDelta(fixture.world, change));
+    }
+  }
+}
+
+// The ER model's scratch rewrite must keep the local/global identity for
+// multi-variable changes (split-merge moves touch whole clusters).
+TEST(CompiledScoringTest, EntityResolutionDeltaMatchesGlobalDifference) {
+  const std::vector<std::string> mentions = {
+      "John Smith", "J. Smith",  "Smith",     "Acme Corp", "ACME",
+      "Acme Inc",   "Boston",    "Boston MA", "J Smith",   "Acme"};
+  EntityResolutionModel model(mentions);
+  factor::World world(mentions.size());
+  Rng rng(7);
+  auto scratch = model.MakeScratch();
+  ASSERT_NE(scratch, nullptr);
+  for (int round = 0; round < 500; ++round) {
+    for (size_t v = 0; v < world.size(); ++v) {
+      world.Set(static_cast<factor::VarId>(v),
+                static_cast<uint32_t>(rng.UniformInt(mentions.size())));
+    }
+    factor::Change change;
+    const size_t k = 1 + rng.UniformInt(5);
+    for (size_t i = 0; i < k; ++i) {
+      change.Set(static_cast<factor::VarId>(rng.UniformInt(mentions.size())),
+                 static_cast<uint32_t>(rng.UniformInt(mentions.size())));
+    }
+    const double local = model.LogScoreDelta(world, change, scratch.get());
+    ASSERT_EQ(local, model.LogScoreDelta(world, change));  // Scratch parity.
+    factor::World applied = world;
+    applied.Apply(change);
+    ASSERT_NEAR(local, model.LogScore(applied) - model.LogScore(world), 1e-9);
+  }
+}
+
+// CompiledWeights in isolation: registration-order term sums, lazy refresh
+// semantics, and the stability of data() pointers across rebuilds.
+TEST(CompiledWeightsTest, TableMirrorsParametersLazily) {
+  factor::Parameters params;
+  factor::CompiledWeights compiled;
+  const size_t t = compiled.AddTable(
+      3, 4,
+      {[](uint32_t i, uint32_t j) { return factor::MakeFeatureId("a", i, j); },
+       [](uint32_t, uint32_t j) { return factor::MakeFeatureId("b", j); }});
+  const double* data = compiled.data(t);
+  EXPECT_FALSE(compiled.fresh(params));
+
+  params.Set(factor::MakeFeatureId("a", 1, 2), 0.25);
+  params.Set(factor::MakeFeatureId("b", 2), -1.5);
+  EXPECT_TRUE(compiled.EnsureFresh(params));
+  EXPECT_FALSE(compiled.EnsureFresh(params));  // Fresh: no rebuild.
+  EXPECT_EQ(compiled.data(t), data);           // Storage never moves.
+  EXPECT_EQ(data[1 * 4 + 2], 0.25 + -1.5);
+  EXPECT_EQ(data[0 * 4 + 2], -1.5);  // "a" term absent, "b" term present.
+  EXPECT_EQ(data[1 * 4 + 3], 0.0);
+
+  params.Update(factor::MakeFeatureId("a", 1, 2), 1.0);
+  EXPECT_FALSE(compiled.fresh(params));
+  EXPECT_TRUE(compiled.EnsureFresh(params));
+  EXPECT_EQ(data[1 * 4 + 2], 1.25 + -1.5);
+}
+
+TEST(CompiledWeightsTest, CopiedParametersAlwaysInvalidate) {
+  factor::Parameters a;
+  a.Set(factor::MakeFeatureId("w", 1), 2.0);
+  factor::Parameters b;
+  b.Set(factor::MakeFeatureId("w", 1), 5.0);
+
+  factor::CompiledWeights compiled;
+  const size_t t = compiled.AddTable(
+      1, 2,
+      {[](uint32_t, uint32_t j) { return factor::MakeFeatureId("w", j); }});
+  compiled.EnsureFresh(a);
+  EXPECT_EQ(compiled.data(t)[1], 2.0);
+  // Even if the source's counter is not ahead of ours, assignment must
+  // leave the version moved so stale tables cannot be read.
+  a = b;
+  EXPECT_FALSE(compiled.fresh(a));
+  compiled.EnsureFresh(a);
+  EXPECT_EQ(compiled.data(t)[1], 5.0);
+}
+
+}  // namespace
+}  // namespace ie
+}  // namespace fgpdb

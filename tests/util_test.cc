@@ -5,6 +5,7 @@
 #include <atomic>
 #include <sstream>
 
+#include "util/flat_map.h"
 #include "util/hash.h"
 #include "util/math_util.h"
 #include "util/rng.h"
@@ -175,6 +176,89 @@ TEST(TablePrinterTest, AlignedOutputAndCsv) {
 TEST(TablePrinterTest, ArityMismatchIsFatal) {
   TablePrinter printer({"a", "b"});
   EXPECT_DEATH(printer.AddRow({"only-one"}), "");
+}
+
+TEST(Flat64MapTest, InsertFindUpdate) {
+  Flat64Map<double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.FindOr(42, -1.0), -1.0);
+  map.Set(42, 0.5);
+  map.Ref(7) = 2.0;
+  map.Ref(7) += 1.0;
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.FindOr(42, -1.0), 0.5);
+  EXPECT_EQ(map.FindOr(7, -1.0), 3.0);
+  EXPECT_TRUE(map.Contains(42));
+  EXPECT_FALSE(map.Contains(43));
+}
+
+TEST(Flat64MapTest, ZeroKeyIsAValidKey) {
+  Flat64Map<double> map;
+  EXPECT_FALSE(map.Contains(0));
+  map.Set(0, 9.0);
+  EXPECT_TRUE(map.Contains(0));
+  EXPECT_EQ(map.FindOr(0, -1.0), 9.0);
+  EXPECT_EQ(map.size(), 1u);
+  size_t visited = 0;
+  map.ForEach([&](uint64_t key, const double& value) {
+    EXPECT_EQ(key, 0u);
+    EXPECT_EQ(value, 9.0);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST(Flat64MapTest, SurvivesGrowthAndMatchesReference) {
+  Flat64Map<uint64_t> map;
+  Rng rng(99);
+  std::vector<std::pair<uint64_t, uint64_t>> reference;
+  for (int i = 0; i < 5000; ++i) {
+    // Adversarially clustered keys: many share low bits.
+    const uint64_t key = (rng.UniformInt(1000) << 40) | rng.UniformInt(64);
+    const uint64_t value = rng.Next();
+    map.Set(key, value);
+    bool found = false;
+    for (auto& [k, v] : reference) {
+      if (k == key) {
+        v = value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) reference.emplace_back(key, value);
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    EXPECT_EQ(map.FindOr(k, ~0ull), v);
+  }
+  size_t visited = 0;
+  map.ForEach([&](uint64_t, const uint64_t&) { ++visited; });
+  EXPECT_EQ(visited, reference.size());
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.FindOr(reference.front().first, ~0ull), ~0ull);
+}
+
+TEST(Flat64MapTest, CopyIsIndependent) {
+  Flat64Map<double> a;
+  a.Set(1, 1.0);
+  Flat64Map<double> b = a;
+  b.Set(1, 2.0);
+  b.Set(2, 4.0);
+  EXPECT_EQ(a.FindOr(1, 0.0), 1.0);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.FindOr(1, 0.0), 2.0);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(HashTest, ConstexprHashesMatchRuntime) {
+  // The template-space constants in src/ie rely on compile-time HashString
+  // agreeing with the runtime byte-loop (and the old Fnv1a).
+  static_assert(HashString("emission") != HashString("transition"));
+  constexpr uint64_t compile_time = HashString("emission");
+  const std::string runtime = "emission";
+  EXPECT_EQ(compile_time, HashString(runtime));
+  EXPECT_EQ(compile_time, Fnv1a(runtime.data(), runtime.size()));
 }
 
 }  // namespace
