@@ -7,6 +7,7 @@
 #ifndef FGPDB_BENCH_BENCH_COMMON_H_
 #define FGPDB_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -28,6 +29,35 @@ inline double BenchScale() {
   if (env == nullptr || *env == '\0') return 1.0;
   const double scale = std::atof(env);
   return scale > 0.0 ? scale : 1.0;
+}
+
+/// The ONE seed a bench run is reproducible from: `--seed=N` on the command
+/// line beats the FGPDB_BENCH_SEED environment variable beats `fallback`.
+/// Every stochastic stream in a bench (corpus, ground truth, each evaluator,
+/// each ablation row) must derive its own seed from this value via
+/// DeriveSeed — never hardcode a second literal, or two streams silently
+/// share (or silently decouple) and the run stops being reproducible from
+/// the printed master seed.
+inline uint64_t MasterSeed(int argc, char** argv, uint64_t fallback = 2004) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      return std::strtoull(arg.c_str() + 7, nullptr, 10);
+    }
+  }
+  const char* env = std::getenv("FGPDB_BENCH_SEED");
+  if (env != nullptr && *env != '\0') return std::strtoull(env, nullptr, 10);
+  return fallback;
+}
+
+/// Deterministically derives the seed for logical stream `stream` of
+/// `master` (SplitMix64 finalizer over master ⊕ stream). Distinct streams
+/// yield decorrelated generator states even for adjacent stream indices.
+inline uint64_t DeriveSeed(uint64_t master, uint64_t stream) {
+  uint64_t z = master + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
 /// A ready-to-sample NER probabilistic database: corpus, TOKEN relation,

@@ -1,7 +1,9 @@
 #include "api/session.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "infer/convergence.h"
 #include "sql/binder.h"
 #include "sql/lexer.h"
 #include "util/logging.h"
@@ -57,11 +59,28 @@ Session::Session(SessionOptions options) : options_(std::move(options)) {
   // policy (parallel chains snapshot the base again per batch).
   world_ = options_.database->Snapshot();
   if (options_.model != nullptr) world_->set_model(options_.model);
-  if (options_.policy.mode != ExecutionPolicy::Mode::kParallel) {
+  const ExecutionPolicy& policy = options_.policy;
+  if (policy.mode == ExecutionPolicy::Mode::kUntil) {
+    FGPDB_CHECK_GT(policy.num_chains, 0u);
+    FGPDB_CHECK_GT(policy.eps, 0.0);
+    until_z_ = infer::ZForConfidence(policy.confidence);
+    until_chains_ = policy.num_chains;
+  }
+  // Multi-chain policies (parallel, and until starting at ≥2 chains) build
+  // fresh COW chain batches per round instead of a resident shared chain.
+  const bool multi_chain =
+      policy.mode == ExecutionPolicy::Mode::kParallel ||
+      (policy.mode == ExecutionPolicy::Mode::kUntil && policy.num_chains > 1);
+  if (!multi_chain) {
     proposal_ = options_.proposal_factory(*world_);
     chain_ = std::make_unique<pdb::SharedChainEvaluator>(
         world_.get(), proposal_.get(), options_.evaluator,
-        /*materialized=*/options_.policy.mode != ExecutionPolicy::Mode::kNaive);
+        /*materialized=*/policy.mode != ExecutionPolicy::Mode::kNaive);
+    if (policy.mode == ExecutionPolicy::Mode::kUntil) {
+      chain_->EnableConvergenceTracking({.confidence = policy.confidence,
+                                         .eps = policy.eps,
+                                         .min_samples = policy.min_samples});
+    }
   }
 }
 
@@ -88,59 +107,160 @@ ResultHandle Session::Register(const PreparedQueryPtr& prepared) {
   for (const std::string& table : prepared->plan().ScannedTables()) {
     ++subscriptions_[table];
   }
-  registered_.push_back(Registered{prepared, pdb::QueryAnswer{}});
+  {
+    // Registration may race with a concurrent Snapshot() under the
+    // multi-chain policies (it reallocates the slot vector).
+    std::lock_guard<std::mutex> lock(results_mu_);
+    registered_.push_back(Registered{prepared, pdb::QueryAnswer{},
+                                     pdb::CrossChainStats{},
+                                     /*converged=*/false});
+  }
   return ResultHandle(this, slot);
 }
 
-void Session::Run(uint64_t samples) {
-  FGPDB_CHECK(!registered_.empty())
-      << "Register at least one query before Run()";
-  if (options_.policy.mode != ExecutionPolicy::Mode::kParallel) {
-    chain_->Run(samples);
-    return;
-  }
-  // Parallel policy: a fresh batch of COW chains per Run() epoch, every
-  // chain maintaining ALL registered views on its one sampler, per-query
-  // answers merged as chains finish. Distinct epoch salts decorrelate
-  // successive batches (epoch 0 matches a standalone EvaluateParallel).
+uint64_t Session::RunParallelRound(uint64_t samples_per_chain,
+                                   size_t num_chains, bool track_stats) {
+  // A fresh batch of COW chains, every chain maintaining ALL registered
+  // views on its one sampler, per-query answers merged as chains finish.
+  // Distinct epoch salts decorrelate successive batches (epoch 0 matches a
+  // standalone EvaluateParallelMulti).
   std::vector<const ra::PlanNode*> plans;
   plans.reserve(registered_.size());
   for (const Registered& r : registered_) plans.push_back(&r.query->plan());
   pdb::ParallelOptions parallel;
-  parallel.num_chains = options_.policy.num_chains;
-  parallel.samples_per_chain = samples;
+  parallel.num_chains = num_chains;
+  parallel.samples_per_chain = samples_per_chain;
   parallel.chain_options = options_.evaluator;
   parallel.materialized = true;
   parallel.use_threads = options_.policy.use_threads;
   parallel.max_threads = options_.policy.max_threads;
+  parallel.track_chain_stats = track_stats;
   pdb::MultiQueryAnswer batch =
       pdb::EvaluateParallelMulti(*world_, plans, options_.proposal_factory,
                                  parallel,
                                  /*seed_salt=*/parallel_epoch_ *
                                      0xbf58476d1ce4e5b9ULL);
+  std::lock_guard<std::mutex> lock(results_mu_);
   ++parallel_epoch_;
   parallel_proposed_ += batch.total_proposed;
   parallel_accepted_ += batch.total_accepted;
+  uint64_t samples_total = 0;
   for (size_t q = 0; q < registered_.size(); ++q) {
-    registered_[q].merged.Merge(batch.answers[q]);
+    Registered& reg = registered_[q];
+    reg.merged.Merge(batch.answers[q]);
+    if (track_stats) {
+      reg.chain_stats.Merge(batch.stats[q]);
+      if (!reg.converged &&
+          reg.merged.num_samples() >= options_.policy.min_samples &&
+          reg.chain_stats.num_chains() >= 2 &&
+          reg.chain_stats.MaxHalfWidth(until_z_) <= options_.policy.eps) {
+        reg.converged = true;
+      }
+    }
+    samples_total = std::max(samples_total, reg.merged.num_samples());
   }
+  if (track_stats) ++until_rounds_;
+  return samples_total;
+}
+
+void Session::RunUntilMultiChain(uint64_t max_samples) {
+  // The escalation ladder: rounds of `until_chains_` COW chains, each
+  // samples_per_round long, feeding the cross-chain error estimator. While
+  // the bound is unmet the chain count doubles (up to max_escalations rungs
+  // above the starting width); the round length never changes, so every
+  // chain ever folded carries the same sample count and the cross-chain SE
+  // stays well-defined. The ladder position persists across Run() calls.
+  const ExecutionPolicy& policy = options_.policy;
+  while (true) {
+    const uint64_t total =
+        RunParallelRound(policy.samples_per_round, until_chains_,
+                         /*track_stats=*/true);
+    if (converged()) break;
+    if (total >= max_samples) break;
+    if (until_escalations_ < policy.max_escalations) {
+      // Under results_mu_: concurrent Snapshot() readers report the ladder
+      // position (QueryProgress::chains).
+      std::lock_guard<std::mutex> lock(results_mu_);
+      until_chains_ *= 2;
+      ++until_escalations_;
+    }
+  }
+}
+
+void Session::Run(uint64_t samples) {
+  FGPDB_CHECK(!registered_.empty())
+      << "Register at least one query before Run()";
+  switch (options_.policy.mode) {
+    case ExecutionPolicy::Mode::kSerial:
+    case ExecutionPolicy::Mode::kNaive:
+      chain_->Run(samples);
+      return;
+    case ExecutionPolicy::Mode::kUntil:
+      if (chain_ != nullptr) {
+        // Single-chain variant: batched-means errors, converged views
+        // freeze and leave the fan-out.
+        chain_->RunUntilConverged(samples);
+      } else {
+        RunUntilMultiChain(samples);
+      }
+      return;
+    case ExecutionPolicy::Mode::kParallel:
+      RunParallelRound(samples, options_.policy.num_chains,
+                       /*track_stats=*/false);
+      return;
+  }
+}
+
+bool Session::converged() const {
+  if (options_.policy.mode != ExecutionPolicy::Mode::kUntil) return false;
+  if (chain_ != nullptr) return chain_->all_converged();
+  std::lock_guard<std::mutex> lock(results_mu_);
+  for (const Registered& reg : registered_) {
+    if (!reg.converged) return false;
+  }
+  return !registered_.empty();
 }
 
 QueryProgress Session::SnapshotSlot(size_t slot) const {
   QueryProgress progress;
-  if (options_.policy.mode != ExecutionPolicy::Mode::kParallel) {
+  const bool until = options_.policy.mode == ExecutionPolicy::Mode::kUntil;
+  if (chain_ != nullptr) {
     progress.answer = chain_->answer(slot);
     progress.steps_per_sample = chain_->steps_per_sample();
     progress.acceptance_rate = chain_->sampler().acceptance_rate();
+    if (until) {
+      progress.converged = chain_->converged(slot);
+      progress.max_half_width = chain_->MaxHalfWidth(slot);
+      progress.chains = 1;
+      const pdb::MarginalErrorStats* stats = chain_->error_stats(slot);
+      stats->ForEach([&](const Tuple& t, double mean, double se) {
+        progress.estimates.push_back(TupleEstimate{t, mean, se});
+      });
+    }
   } else {
-    progress.answer = registered_.at(slot).merged;
+    std::lock_guard<std::mutex> lock(results_mu_);
+    const Registered& reg = registered_.at(slot);
+    progress.answer = reg.merged;
     progress.steps_per_sample = options_.evaluator.steps_per_sample;
     progress.acceptance_rate =
         parallel_proposed_ == 0
             ? 0.0
             : static_cast<double>(parallel_accepted_) /
                   static_cast<double>(parallel_proposed_);
+    if (until) {
+      progress.converged = reg.converged;
+      progress.max_half_width = reg.chain_stats.MaxHalfWidth(until_z_);
+      progress.rounds = until_rounds_;
+      progress.chains = until_chains_;
+      reg.chain_stats.ForEach([&](const Tuple& t, double mean, double se) {
+        progress.estimates.push_back(TupleEstimate{t, mean, se});
+      });
+    }
   }
+  std::sort(progress.estimates.begin(), progress.estimates.end(),
+            [](const TupleEstimate& a, const TupleEstimate& b) {
+              return a.tuple < b.tuple;
+            });
   progress.samples = progress.answer.num_samples();
   return progress;
 }

@@ -38,6 +38,7 @@
 #define FGPDB_API_SESSION_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,13 +53,31 @@ namespace fgpdb {
 namespace api {
 
 struct ExecutionPolicy {
-  enum class Mode { kSerial, kParallel, kNaive };
+  enum class Mode { kSerial, kParallel, kNaive, kUntil };
 
   Mode mode = Mode::kSerial;
-  /// kParallel only: chains, threading, and thread cap (0 = hardware).
+  /// kParallel: chain count. kUntil: the escalation ladder's FIRST rung
+  /// (1 = single shared chain with batched-means errors, ≥2 = cross-chain
+  /// errors with chain doubling). Threading fields apply to both.
   size_t num_chains = 4;
   bool use_threads = true;
   size_t max_threads = 0;
+
+  // kUntil only — run-until-error-bound (see Until()).
+  /// Two-sided confidence level of the per-tuple bound.
+  double confidence = 0.95;
+  /// Absolute marginal-probability half-width target: stop when every
+  /// tuple's marginal carries z(confidence)·SE ≤ eps.
+  double eps = 0.01;
+  /// Samples per chain per round between convergence checks. Constant
+  /// across rounds (the cross-chain estimator needs equal-length chains);
+  /// escalation doubles the chain count, not the round length.
+  uint64_t samples_per_round = 32;
+  /// Ladder height: how many times Run() may double the chain count after
+  /// starting at num_chains (multi-chain variant only). 3 ⇒ B,2B,4B,8B.
+  size_t max_escalations = 3;
+  /// Samples a query must observe before it may be declared converged.
+  uint64_t min_samples = 64;
 
   static ExecutionPolicy Serial() { return {}; }
   static ExecutionPolicy Parallel(size_t num_chains, size_t max_threads = 0) {
@@ -71,6 +90,25 @@ struct ExecutionPolicy {
   static ExecutionPolicy Naive() {
     ExecutionPolicy p;
     p.mode = Mode::kNaive;
+    return p;
+  }
+  /// Run-until-error-bound: sample until every registered query's marginals
+  /// are within ±eps at `confidence`, or the Run() budget runs out. With
+  /// num_chains == 1 the session's shared chain tracks batched-means
+  /// standard errors and converged views freeze (drained from the delta
+  /// fan-out); with num_chains ≥ 2 rounds of COW chains feed a cross-chain
+  /// estimator and the chain count doubles per escalation while the bound
+  /// is unmet. All stopping decisions are functions of the sample stream
+  /// alone — repeated runs at one seed are bitwise-identical.
+  static ExecutionPolicy Until(double confidence, double eps,
+                               size_t num_chains = 4,
+                               size_t max_threads = 0) {
+    ExecutionPolicy p;
+    p.mode = Mode::kUntil;
+    p.confidence = confidence;
+    p.eps = eps;
+    p.num_chains = num_chains;
+    p.max_threads = max_threads;
     return p;
   }
 };
@@ -119,6 +157,14 @@ class PreparedQuery {
 
 using PreparedQueryPtr = std::shared_ptr<const PreparedQuery>;
 
+/// One tuple's marginal estimate with its Monte-Carlo standard error
+/// (until policy; a ±z·standard_error interval is the reported bound).
+struct TupleEstimate {
+  Tuple tuple;
+  double probability = 0.0;
+  double standard_error = 0.0;
+};
+
 /// A point-in-time copy of one registered query's progress.
 struct QueryProgress {
   pdb::QueryAnswer answer;
@@ -128,6 +174,21 @@ struct QueryProgress {
   uint64_t steps_per_sample = 0;
   /// Acceptance rate of the chain(s) feeding this query.
   double acceptance_rate = 0.0;
+
+  // --- until policy only (zero/empty under other policies) ---------------
+  /// The error bound held: every tuple within ±eps at the configured
+  /// confidence (serial variant: the view is frozen and drained).
+  bool converged = false;
+  /// z(confidence) · max-over-tuples standard error — the answer's current
+  /// half-width. +inf while inestimable (too few batches/chains), 0 for an
+  /// empty answer.
+  double max_half_width = 0.0;
+  /// Per-tuple marginal ± standard error, sorted by tuple.
+  std::vector<TupleEstimate> estimates;
+  /// Escalation-ladder position (multi-chain variant): rounds completed and
+  /// the chain count of the most recent round.
+  uint64_t rounds = 0;
+  size_t chains = 0;
 };
 
 class Session;
@@ -177,7 +238,16 @@ class Session {
   /// Advances the session by `samples` collected samples per registered
   /// query: one shared chain under serial/naive, `num_chains` chains each
   /// maintaining every view under parallel (merged as they finish).
+  ///
+  /// Under the until policy, `samples` is a BUDGET, not a target: sampling
+  /// stops as soon as every registered query's marginals are within ±eps at
+  /// the configured confidence, and a multi-chain round in flight finishes
+  /// before the budget is re-checked (so the total may overshoot by up to
+  /// one round). Escalation state persists across Run() calls.
   void Run(uint64_t samples);
+
+  /// Until policy: true once every registered query satisfied the bound.
+  bool converged() const;
 
   size_t num_registered() const { return registered_.size(); }
   const ExecutionPolicy& policy() const { return options_.policy; }
@@ -205,14 +275,22 @@ class Session {
 
   struct Registered {
     PreparedQueryPtr query;
-    /// Merged per-query answer (parallel policy; serial answers live in
-    /// the shared-chain evaluator).
+    /// Merged per-query answer (multi-chain policies; serial answers live
+    /// in the shared-chain evaluator).
     pdb::QueryAnswer merged;
+    /// Cross-chain error statistics (until policy, multi-chain variant).
+    pdb::CrossChainStats chain_stats;
+    /// The bound held as of the last completed round (monotone).
+    bool converged = false;
   };
 
-  /// Lazily builds the serial/naive shared-chain evaluator.
-  void EnsureChain();
   QueryProgress SnapshotSlot(size_t slot) const;
+  /// One round of B COW chains folded into the session state (under the
+  /// results lock); returns the per-query sample count after the fold.
+  uint64_t RunParallelRound(uint64_t samples_per_chain, size_t num_chains,
+                            bool track_stats);
+  /// The until policy's multi-chain driver: rounds + escalation ladder.
+  void RunUntilMultiChain(uint64_t max_samples);
 
   SessionOptions options_;
   /// The session's private copy-on-write world (serial/naive chains run on
@@ -232,6 +310,19 @@ class Session {
   uint64_t parallel_epoch_ = 0;
   uint64_t parallel_proposed_ = 0;
   uint64_t parallel_accepted_ = 0;
+
+  /// Guards the multi-chain result state (merged answers, chain stats,
+  /// counters) so ResultHandle::Snapshot() may be called from another
+  /// thread WHILE Run() executes under the parallel/until policies
+  /// (round-granular consistency). Serial policies remain externally
+  /// synchronized.
+  mutable std::mutex results_mu_;
+
+  // Until-policy ladder state (multi-chain variant); persists across Run().
+  double until_z_ = 0.0;  // ZForConfidence(policy.confidence)
+  size_t until_chains_ = 0;       // current rung (0 until first Run)
+  size_t until_escalations_ = 0;  // rungs climbed so far
+  uint64_t until_rounds_ = 0;     // completed rounds
 };
 
 }  // namespace api

@@ -1,0 +1,120 @@
+#include "infer/convergence.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace infer {
+
+namespace {
+
+// Acklam's rational approximation of the standard normal quantile
+// (inverse CDF), |relative error| < 1.15e-9 over (0, 1) — far below any
+// tolerance a sampling-based bound could care about.
+double NormalQuantile(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - kLow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+double ZForConfidence(double confidence) {
+  FGPDB_CHECK(confidence > 0.0 && confidence < 1.0)
+      << "confidence must be in (0, 1), got " << confidence;
+  return NormalQuantile(0.5 + confidence / 2.0);
+}
+
+double WelfordAccumulator::StandardError() const {
+  if (count_ < 2) return std::numeric_limits<double>::infinity();
+  return std::sqrt(variance() / static_cast<double>(count_));
+}
+
+void BatchedMeansAccumulator::FlushBatch() {
+  if (num_batches_ == kMaxBatches) {
+    // Collapse adjacent pairs: 64 batches of size b become 32 of size 2b.
+    // The batch in flight is NOT closed — under the doubled size it is now
+    // half-full and keeps filling.
+    for (size_t i = 0; i < kMaxBatches / 2; ++i) {
+      batch_sums_[i] = batch_sums_[2 * i] + batch_sums_[2 * i + 1];
+    }
+    num_batches_ = kMaxBatches / 2;
+    batch_size_ *= 2;
+    return;
+  }
+  batch_sums_[num_batches_++] = current_sum_;
+  current_sum_ = 0.0;
+  current_fill_ = 0;
+}
+
+void BatchedMeansAccumulator::Add(double x) {
+  current_sum_ += x;
+  total_sum_ += x;
+  ++count_;
+  if (++current_fill_ == batch_size_) FlushBatch();
+}
+
+void BatchedMeansAccumulator::AddZeros(uint64_t n) {
+  count_ += n;
+  // Finish the batch in flight, then emit whole zero batches. After a
+  // collapse the loop re-reads the doubled batch size, so the half-full
+  // survivor simply keeps filling.
+  while (n > 0) {
+    const uint64_t room = batch_size_ - current_fill_;
+    const uint64_t take = n < room ? n : room;
+    current_fill_ += take;
+    n -= take;
+    if (current_fill_ == batch_size_) FlushBatch();
+  }
+}
+
+double BatchedMeansAccumulator::StandardError() const {
+  if (num_batches_ < kMinBatchesForEstimate) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double b = static_cast<double>(batch_size_);
+  const double k = static_cast<double>(num_batches_);
+  double mean_of_means = 0.0;
+  for (size_t i = 0; i < num_batches_; ++i) {
+    mean_of_means += batch_sums_[i] / b;
+  }
+  mean_of_means /= k;
+  double ss = 0.0;
+  for (size_t i = 0; i < num_batches_; ++i) {
+    const double d = batch_sums_[i] / b - mean_of_means;
+    ss += d * d;
+  }
+  const double var_batch_means = ss / (k - 1.0);
+  return std::sqrt(var_batch_means / k);
+}
+
+}  // namespace infer
+}  // namespace fgpdb

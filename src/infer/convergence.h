@@ -1,0 +1,142 @@
+// Monte-Carlo error estimation for run-until-error-bound inference.
+//
+// The paper evaluates inference as loss-versus-time (fig 4b); the production
+// stopping rule that curve implies is "the marginal is within ±ε at the
+// requested confidence", not a fixed sample count. The three estimators here
+// supply the standard errors that rule needs:
+//
+//   WelfordAccumulator      — running mean/variance of an i.i.d. stream
+//                             (one pass, no stored samples). Used for
+//                             cross-chain means, where chains ARE
+//                             independent by construction.
+//   BatchedMeansAccumulator — standard error of the mean of a CORRELATED
+//                             stream (successive thinned MCMC samples from
+//                             one chain). Classic batched means: group the
+//                             stream into contiguous batches, treat batch
+//                             means as approximately independent, and double
+//                             the batch size whenever the fixed-size batch
+//                             table fills, so autocorrelation at any lag is
+//                             eventually buried inside a batch.
+//   ZForConfidence          — two-sided normal critical value, turning a
+//                             standard error into a half-width.
+//
+// All state is fixed-size (the batch table is a std::array): per-observation
+// updates never allocate, per the compiled-scoring scratch discipline.
+// Everything is a pure function of the observation stream — no clocks, no
+// global RNG — so stopping decisions driven by these values are exactly
+// reproducible at a fixed seed.
+#ifndef FGPDB_INFER_CONVERGENCE_H_
+#define FGPDB_INFER_CONVERGENCE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace fgpdb {
+namespace infer {
+
+/// Two-sided normal critical value: the z with
+/// P(|N(0,1)| <= z) = confidence. Requires confidence in (0, 1).
+/// ZForConfidence(0.95) ≈ 1.9600, ZForConfidence(0.99) ≈ 2.5758.
+double ZForConfidence(double confidence);
+
+/// One-pass running mean and (sample) variance — Welford's update. Exact in
+/// the usual numerically-stable sense; O(1) state, never allocates.
+class WelfordAccumulator {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Folds `n` zero observations in closed form (merging a zero-mean,
+  /// zero-variance group of size n): equivalent to n Add(0) calls up to
+  /// rounding, in O(1).
+  void AddZeros(uint64_t n) {
+    if (n == 0) return;
+    const double k = static_cast<double>(count_);
+    const double m = static_cast<double>(n);
+    m2_ += mean_ * mean_ * k * m / (k + m);
+    mean_ = mean_ * k / (k + m);
+    count_ += n;
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (n−1 denominator); 0 with fewer than two
+  /// observations.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  /// Standard error of the mean under independence: sqrt(variance / n).
+  /// +inf with fewer than two observations (no information about spread).
+  double StandardError() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Standard error of the mean of a correlated stream by batched means.
+///
+/// The stream is grouped into contiguous batches of `batch_size()`
+/// observations; when all kMaxBatches slots fill, adjacent batches merge
+/// pairwise and the batch size doubles. With b large relative to the
+/// stream's autocorrelation time the batch means are approximately
+/// independent, so
+///
+///   SE(mean) ≈ sqrt( Var(batch means) / #complete batches ).
+///
+/// Only complete batches enter the variance; the trailing partial batch
+/// contributes to the overall mean but not to the spread estimate.
+/// StandardError() returns +inf until kMinBatchesForEstimate batches are
+/// complete — "no bound yet" rather than an overconfident one.
+class BatchedMeansAccumulator {
+ public:
+  static constexpr size_t kMaxBatches = 64;
+  static constexpr size_t kMinBatchesForEstimate = 8;
+
+  void Add(double x);
+
+  /// Folds `n` zero observations (an indicator stream's absences) without
+  /// per-observation work beyond batch boundaries: whole zero batches are
+  /// emitted directly.
+  void AddZeros(uint64_t n);
+
+  uint64_t count() const { return count_; }
+
+  /// Mean of ALL observations (including the trailing partial batch).
+  double mean() const {
+    return count_ == 0 ? 0.0 : total_sum_ / static_cast<double>(count_);
+  }
+
+  /// Batched-means standard error of mean(); +inf until enough complete
+  /// batches exist.
+  double StandardError() const;
+
+  uint64_t batch_size() const { return batch_size_; }
+  size_t num_complete_batches() const { return num_batches_; }
+
+ private:
+  /// Closes the current batch into the table, collapsing pairs when full.
+  void FlushBatch();
+
+  std::array<double, kMaxBatches> batch_sums_{};  // complete batches
+  size_t num_batches_ = 0;
+  uint64_t batch_size_ = 1;
+  double current_sum_ = 0.0;   // trailing partial batch
+  uint64_t current_fill_ = 0;
+  double total_sum_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace infer
+}  // namespace fgpdb
+
+#endif  // FGPDB_INFER_CONVERGENCE_H_

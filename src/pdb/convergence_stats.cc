@@ -1,0 +1,147 @@
+#include "pdb/convergence_stats.h"
+
+#include <cmath>
+#include <limits>
+
+#include "pdb/query_evaluator.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace pdb {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// --- MarginalErrorStats -----------------------------------------------------
+
+void MarginalErrorStats::ObserveSample(const std::vector<Tuple>& present) {
+  ++num_samples_;
+  for (const Tuple& t : present) {
+    Entry& entry = entries_[t];
+    if (entry.acc.count() == 0 && num_samples_ > 1) {
+      // First sighting mid-run: the tuple was absent from every earlier
+      // sample of this answer's window.
+      entry.acc.AddZeros(num_samples_ - 1);
+    }
+    entry.acc.Add(1.0);
+    entry.last_seen = num_samples_;
+  }
+  for (auto& [tuple, entry] : entries_) {
+    if (entry.last_seen != num_samples_) entry.acc.Add(0.0);
+  }
+}
+
+double MarginalErrorStats::Mean(const Tuple& tuple) const {
+  const auto it = entries_.find(tuple);
+  return it == entries_.end() ? 0.0 : it->second.acc.mean();
+}
+
+double MarginalErrorStats::StandardError(const Tuple& tuple) const {
+  const auto it = entries_.find(tuple);
+  return it == entries_.end() ? 0.0 : it->second.acc.StandardError();
+}
+
+double MarginalErrorStats::MaxHalfWidth(double z) const {
+  double max_hw = 0.0;
+  for (const auto& [tuple, entry] : entries_) {
+    const double hw = z * entry.acc.StandardError();
+    if (hw > max_hw) max_hw = hw;
+  }
+  return max_hw;
+}
+
+void MarginalErrorStats::ForEach(
+    const std::function<void(const Tuple&, double, double)>& fn) const {
+  for (const auto& [tuple, entry] : entries_) {
+    fn(tuple, entry.acc.mean(), entry.acc.StandardError());
+  }
+}
+
+// --- CrossChainStats --------------------------------------------------------
+
+void CrossChainStats::ObserveChain(const QueryAnswer& chain_answer) {
+  if (num_chains_ == 0) {
+    samples_per_chain_ = chain_answer.num_samples();
+    FGPDB_CHECK_GT(samples_per_chain_, 0u)
+        << "cross-chain stats need non-empty chains";
+  } else {
+    FGPDB_CHECK_EQ(samples_per_chain_, chain_answer.num_samples())
+        << "cross-chain SE requires equal per-chain sample counts";
+  }
+  ++num_chains_;
+  chain_answer.ForEachCount([this](const Tuple& tuple, uint64_t count) {
+    Entry& entry = entries_[tuple];
+    entry.sum_counts += count;
+    entry.sum_sq_counts += count * count;
+  });
+}
+
+void CrossChainStats::Merge(const CrossChainStats& other) {
+  if (other.num_chains_ == 0) return;
+  if (num_chains_ == 0) {
+    samples_per_chain_ = other.samples_per_chain_;
+  } else {
+    FGPDB_CHECK_EQ(samples_per_chain_, other.samples_per_chain_)
+        << "cross-chain SE requires equal per-chain sample counts";
+  }
+  num_chains_ += other.num_chains_;
+  for (const auto& [tuple, entry] : other.entries_) {
+    Entry& mine = entries_[tuple];
+    mine.sum_counts += entry.sum_counts;
+    mine.sum_sq_counts += entry.sum_sq_counts;
+  }
+}
+
+double CrossChainStats::Mean(const Tuple& tuple) const {
+  if (num_chains_ == 0) return 0.0;
+  const auto it = entries_.find(tuple);
+  if (it == entries_.end()) return 0.0;
+  return static_cast<double>(it->second.sum_counts) /
+         static_cast<double>(num_chains_ * samples_per_chain_);
+}
+
+double CrossChainStats::StandardErrorOf(const Entry& e) const {
+  if (num_chains_ < 2) return kInf;
+  // Chain b's mean is count_b/n; with S1 = Σ count_b and S2 = Σ count_b²,
+  //   Var(chain means) = (S2/n² − B·(S1/(B·n))²) / (B−1)
+  // computed from integers, so fold order cannot perturb a single bit.
+  const double b = static_cast<double>(num_chains_);
+  const double n = static_cast<double>(samples_per_chain_);
+  const double s1 = static_cast<double>(e.sum_counts);
+  const double s2 = static_cast<double>(e.sum_sq_counts);
+  const double grand_mean = s1 / (b * n);
+  double var = (s2 / (n * n) - b * grand_mean * grand_mean) / (b - 1.0);
+  if (var < 0.0) var = 0.0;  // rounding guard
+  return std::sqrt(var / b);
+}
+
+double CrossChainStats::StandardError(const Tuple& tuple) const {
+  const auto it = entries_.find(tuple);
+  if (it == entries_.end()) return 0.0;
+  return StandardErrorOf(it->second);
+}
+
+double CrossChainStats::MaxHalfWidth(double z) const {
+  double max_hw = 0.0;
+  for (const auto& [tuple, entry] : entries_) {
+    const double hw = z * StandardErrorOf(entry);
+    if (hw > max_hw) max_hw = hw;
+  }
+  return max_hw;
+}
+
+void CrossChainStats::ForEach(
+    const std::function<void(const Tuple&, double, double)>& fn) const {
+  for (const auto& [tuple, entry] : entries_) {
+    fn(tuple,
+       num_chains_ == 0
+           ? 0.0
+           : static_cast<double>(entry.sum_counts) /
+                 static_cast<double>(num_chains_ * samples_per_chain_),
+       StandardErrorOf(entry));
+  }
+}
+
+}  // namespace pdb
+}  // namespace fgpdb

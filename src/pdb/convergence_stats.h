@@ -1,0 +1,135 @@
+// Per-tuple Monte-Carlo error tracking for query answers — the statistics
+// behind ExecutionPolicy::until(confidence, eps).
+//
+// A query answer is a set of per-tuple marginals p̂(t) = count(t)/samples
+// (paper Eq. 4/5). "Run until the answer is within ±ε at 95% confidence"
+// needs a standard error for every p̂(t), and the right estimator depends on
+// where the samples came from:
+//
+//   MarginalErrorStats — ONE chain's thinned sample stream. Successive
+//       samples are correlated, so each tuple's 0/1 indicator stream feeds a
+//       BatchedMeansAccumulator (infer/convergence.h). A tuple first seen at
+//       sample s backfills s−1 zeros, so its stream always spans the full
+//       observation window.
+//   CrossChainStats — B independent chains, n samples each (the §5.4
+//       parallel evaluator). The chain means are i.i.d., so
+//       SE(p̂) = sd(chain means)/√B. State per tuple is the integer sum and
+//       sum-of-squares of per-chain counts: integer addition commutes
+//       exactly, so the estimate is BITWISE identical no matter what order
+//       finished chains are folded in — stopping decisions stay reproducible
+//       under the threaded streaming merge.
+//
+// Both refuse to report a bound before it is meaningful (too few batches /
+// fewer than two chains): StandardError returns +inf, never an
+// overconfident small number.
+#ifndef FGPDB_PDB_CONVERGENCE_STATS_H_
+#define FGPDB_PDB_CONVERGENCE_STATS_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "infer/convergence.h"
+#include "storage/tuple.h"
+
+namespace fgpdb {
+namespace pdb {
+
+class QueryAnswer;
+
+/// The until(confidence, eps) stopping rule: every tracked tuple's marginal
+/// must carry a two-sided confidence half-width z(confidence)·SE ≤ eps.
+struct ConvergenceOptions {
+  double confidence = 0.95;
+  /// Absolute marginal-probability tolerance.
+  double eps = 0.01;
+  /// Samples a query must observe before it may be declared converged
+  /// (guards against freezing on a lucky early window).
+  uint64_t min_samples = 32;
+};
+
+/// Batched-means error tracking for one chain's answer stream. Feed it the
+/// same distinct-tuple sets the QueryAnswer observes; read per-tuple
+/// standard errors or the max half-width any time. Per-sample cost is
+/// O(#tracked tuples) with no allocation except first-sighting inserts.
+class MarginalErrorStats {
+ public:
+  /// Records one sample's answer set (distinct tuples only). Every tracked
+  /// tuple absent from `present` observes a 0.
+  void ObserveSample(const std::vector<Tuple>& present);
+
+  uint64_t num_samples() const { return num_samples_; }
+  size_t num_tracked() const { return entries_.size(); }
+
+  /// Marginal estimate of `tuple` (0 if never seen).
+  double Mean(const Tuple& tuple) const;
+
+  /// Batched-means standard error of Mean(tuple); +inf until enough
+  /// complete batches exist, 0 for never-seen tuples.
+  double StandardError(const Tuple& tuple) const;
+
+  /// max over tracked tuples of z·SE — the answer's confidence half-width.
+  /// 0 when nothing is tracked (an empty answer is exactly itself); +inf
+  /// while any tuple's SE is still inestimable.
+  double MaxHalfWidth(double z) const;
+
+  /// fn(tuple, mean, standard_error) per tracked tuple (unspecified order).
+  void ForEach(const std::function<void(const Tuple&, double, double)>& fn)
+      const;
+
+ private:
+  struct Entry {
+    infer::BatchedMeansAccumulator acc;
+    uint64_t last_seen = 0;  // sample index of last presence marking
+  };
+  std::unordered_map<Tuple, Entry, TupleHasher> entries_;
+  uint64_t num_samples_ = 0;
+};
+
+/// Cross-chain standard errors over B independent chains of n samples each.
+/// Fold order cannot change any reported value (integer sums), so the
+/// threaded parallel evaluator's completion-order merge stays deterministic.
+class CrossChainStats {
+ public:
+  /// Folds one finished chain's answer. Every chain must carry the same
+  /// number of samples (the parallel evaluator guarantees it).
+  void ObserveChain(const QueryAnswer& chain_answer);
+
+  /// Pools another batch of chains (e.g. a later escalation round).
+  void Merge(const CrossChainStats& other);
+
+  size_t num_chains() const { return num_chains_; }
+  uint64_t samples_per_chain() const { return samples_per_chain_; }
+
+  /// Pooled marginal estimate of `tuple` (0 if never seen in any chain).
+  double Mean(const Tuple& tuple) const;
+
+  /// sd(chain means)/√B; +inf with fewer than two chains, 0 for never-seen
+  /// tuples.
+  double StandardError(const Tuple& tuple) const;
+
+  /// max over tracked tuples of z·SE; 0 when nothing is tracked, +inf with
+  /// fewer than two chains folded.
+  double MaxHalfWidth(double z) const;
+
+  /// fn(tuple, mean, standard_error) per tracked tuple (unspecified order).
+  void ForEach(const std::function<void(const Tuple&, double, double)>& fn)
+      const;
+
+ private:
+  struct Entry {
+    uint64_t sum_counts = 0;     // Σ_b count_b(tuple)
+    uint64_t sum_sq_counts = 0;  // Σ_b count_b(tuple)²
+  };
+  double StandardErrorOf(const Entry& e) const;
+
+  std::unordered_map<Tuple, Entry, TupleHasher> entries_;
+  size_t num_chains_ = 0;
+  uint64_t samples_per_chain_ = 0;
+};
+
+}  // namespace pdb
+}  // namespace fgpdb
+
+#endif  // FGPDB_PDB_CONVERGENCE_STATS_H_

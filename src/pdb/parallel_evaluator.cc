@@ -70,12 +70,16 @@ MultiQueryAnswer EvaluateParallelMulti(
 
   MultiQueryAnswer merged;
   merged.answers.resize(plans.size());
-  auto fold = [&merged](const ChainResult& chain) {
+  if (options.track_chain_stats) merged.stats.resize(plans.size());
+  auto fold = [&merged, &options](const ChainResult& chain) {
     // Streaming merge: fold a chain in as soon as it finishes, while other
-    // chains are still sampling. Counts are integers, so the merge order
-    // cannot change the result.
+    // chains are still sampling. Counts are integers (cross-chain stats
+    // included), so the merge order cannot change the result.
     for (size_t q = 0; q < chain.answers.size(); ++q) {
       merged.answers[q].Merge(chain.answers[q]);
+      if (options.track_chain_stats) {
+        merged.stats[q].ObserveChain(chain.answers[q]);
+      }
     }
     merged.total_proposed += chain.proposed;
     merged.total_accepted += chain.accepted;

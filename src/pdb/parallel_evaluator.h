@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "pdb/convergence_stats.h"
 #include "pdb/query_evaluator.h"
 
 namespace fgpdb {
@@ -39,6 +40,11 @@ struct ParallelOptions {
   /// Worker threads when use_threads is set. 0 = min(num_chains, hardware
   /// concurrency); never more threads than chains.
   size_t max_threads = 0;
+  /// Also fold per-chain answer counts into CrossChainStats (per plan), so
+  /// the caller can read Monte-Carlo standard errors — the until(confidence,
+  /// eps) policy's stopping signal. Off by default: fixed-count callers
+  /// should not pay for the per-tuple maps.
+  bool track_chain_stats = false;
 };
 
 /// Factory producing a fresh per-chain proposal (proposals hold chain-local
@@ -62,6 +68,11 @@ QueryAnswer EvaluateParallel(const ProbabilisticDatabase& pdb,
 /// progress reporting.
 struct MultiQueryAnswer {
   std::vector<QueryAnswer> answers;
+  /// Per-plan cross-chain standard-error statistics (index-aligned with
+  /// `answers`). Empty unless ParallelOptions::track_chain_stats was set.
+  /// Integer-sum state, so the streaming completion-order merge yields
+  /// bitwise-identical statistics run to run.
+  std::vector<CrossChainStats> stats;
   uint64_t total_proposed = 0;
   uint64_t total_accepted = 0;
 

@@ -15,6 +15,7 @@
 #ifndef FGPDB_PDB_QUERY_EVALUATOR_H_
 #define FGPDB_PDB_QUERY_EVALUATOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -51,6 +52,13 @@ class QueryAnswer {
   /// Merges counts from another answer over the same query — used to
   /// average parallel chains (paper §5.4).
   void Merge(const QueryAnswer& other);
+
+  /// Applies fn(tuple, count) to every tuple's raw sample count (the
+  /// integer numerator of Probability). Iteration order is unspecified.
+  void ForEachCount(
+      const std::function<void(const Tuple&, uint64_t)>& fn) const {
+    for (const auto& [tuple, count] : counts_) fn(tuple, count);
+  }
 
   /// Element-wise squared error against another answer (the paper's
   /// evaluation loss). Tuples absent from one side count as probability 0.

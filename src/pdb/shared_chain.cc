@@ -39,6 +39,7 @@ size_t SharedChainEvaluator::AddQuery(const ra::PlanNode* plan) {
   FGPDB_CHECK(plan != nullptr);
   Slot slot;
   slot.plan = plan;
+  if (tracking_) slot.stats = std::make_unique<MarginalErrorStats>();
   if (materialized_) {
     slot.view = std::make_unique<view::MaterializedView>(*plan);
     for (const auto& [table, scans] : slot.view->subscriptions()) {
@@ -82,16 +83,68 @@ bool SharedChainEvaluator::ViewTouched(const view::MaterializedView& view,
 }
 
 void SharedChainEvaluator::ObserveSample(Slot* slot) {
+  std::vector<Tuple> distinct;
   if (materialized_) {
-    std::vector<Tuple> distinct;
     distinct.reserve(slot->view->contents().distinct_size());
     slot->view->contents().ForEach(
         [&](const Tuple& t, int64_t) { distinct.push_back(t); });
-    slot->answer.ObserveSampleContaining(distinct);
-    return;
+  } else {
+    distinct = DistinctTuples(ra::Execute(*slot->plan, pdb_->db()));
   }
-  slot->answer.ObserveSampleContaining(
-      DistinctTuples(ra::Execute(*slot->plan, pdb_->db())));
+  slot->answer.ObserveSampleContaining(distinct);
+  if (slot->stats != nullptr) slot->stats->ObserveSample(distinct);
+}
+
+void SharedChainEvaluator::MaybeFreeze(Slot* slot) {
+  if (!tracking_ || slot->converged) return;
+  if (slot->answer.num_samples() < convergence_.min_samples) return;
+  if (slot->stats->MaxHalfWidth(z_) > convergence_.eps) return;
+  // The bound holds: freeze the slot. Its view is paused (Apply becomes a
+  // short-circuit) and its tables leave the chain-level union map, so the
+  // routed fan-out stops paying for this query entirely.
+  slot->converged = true;
+  ++num_converged_;
+  if (slot->view != nullptr) {
+    slot->view->set_paused(true);
+    for (const auto& [table, scans] : slot->view->subscriptions()) {
+      const auto it = subscriptions_.find(table);
+      if (it == subscriptions_.end()) continue;
+      it->second -= std::min(it->second, scans);
+      if (it->second == 0) subscriptions_.erase(it);
+    }
+  }
+}
+
+void SharedChainEvaluator::EnableConvergenceTracking(
+    const ConvergenceOptions& options) {
+  FGPDB_CHECK(!initialized_)
+      << "EnableConvergenceTracking must precede Initialize()";
+  FGPDB_CHECK_GT(options.eps, 0.0);
+  tracking_ = true;
+  convergence_ = options;
+  z_ = infer::ZForConfidence(options.confidence);
+  for (Slot& slot : slots_) {
+    if (slot.stats == nullptr) {
+      slot.stats = std::make_unique<MarginalErrorStats>();
+    }
+  }
+}
+
+double SharedChainEvaluator::MaxHalfWidth(size_t slot) const {
+  FGPDB_CHECK(tracking_);
+  return slots_.at(slot).stats->MaxHalfWidth(z_);
+}
+
+uint64_t SharedChainEvaluator::RunUntilConverged(uint64_t max_samples) {
+  FGPDB_CHECK(tracking_)
+      << "RunUntilConverged requires EnableConvergenceTracking";
+  if (!initialized_) Initialize();
+  uint64_t drawn = 0;
+  while (drawn < max_samples && !all_converged()) {
+    DrawSample();
+    ++drawn;
+  }
+  return drawn;
 }
 
 void SharedChainEvaluator::DrawSample() {
@@ -102,7 +155,11 @@ void SharedChainEvaluator::DrawSample() {
 
   if (!materialized_) {
     pdb_->DiscardDeltas();
-    for (Slot& slot : slots_) ObserveSample(&slot);
+    for (Slot& slot : slots_) {
+      if (slot.converged) continue;  // frozen: answer already within ±eps
+      ObserveSample(&slot);
+      MaybeFreeze(&slot);
+    }
     return;
   }
 
@@ -113,6 +170,7 @@ void SharedChainEvaluator::DrawSample() {
   Stopwatch apply_timer;
   pdb_->TakeDeltas(&delta_buf_);
   for (Slot& slot : slots_) {
+    if (slot.converged) continue;  // drained: paused view, no apply cost
     if (ViewTouched(*slot.view, delta_buf_)) {
       slot.view->Apply(delta_buf_);
     } else {
@@ -120,7 +178,11 @@ void SharedChainEvaluator::DrawSample() {
     }
   }
   last_apply_seconds_ = apply_timer.ElapsedSeconds();
-  for (Slot& slot : slots_) ObserveSample(&slot);
+  for (Slot& slot : slots_) {
+    if (slot.converged) continue;
+    ObserveSample(&slot);
+    MaybeFreeze(&slot);
+  }
 
   if (options_.adaptive_thinning) {
     // Same multiplicative controller as the single-query evaluator, fed by

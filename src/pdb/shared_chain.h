@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pdb/convergence_stats.h"
 #include "pdb/query_evaluator.h"
 
 namespace fgpdb {
@@ -52,6 +53,37 @@ class SharedChainEvaluator {
 
   /// Initialize (if needed) plus `n` samples.
   void Run(uint64_t n);
+
+  /// Switches the chain to run-until-error-bound mode: every registered
+  /// query tracks per-tuple batched-means standard errors, and a query
+  /// whose answer is within ±eps at the requested confidence freezes — its
+  /// view is paused (drained from the delta fan-out, stops paying apply
+  /// cost) and its marginals stop moving. Tracking never perturbs the chain
+  /// trajectory: with an unreachable eps the answers are bitwise-identical
+  /// to an untracked run. Call before Initialize().
+  void EnableConvergenceTracking(const ConvergenceOptions& options);
+  bool tracking_convergence() const { return tracking_; }
+
+  /// Initialize (if needed) plus samples until every query converged or
+  /// `max_samples` were drawn. Returns the samples actually drawn — the
+  /// fig4b "samples used" number. Requires EnableConvergenceTracking.
+  uint64_t RunUntilConverged(uint64_t max_samples);
+
+  /// Whether `slot`'s answer satisfied the error bound and froze.
+  bool converged(size_t slot) const { return slots_.at(slot).converged; }
+  size_t num_converged() const { return num_converged_; }
+  bool all_converged() const {
+    return tracking_ && num_converged_ == slots_.size();
+  }
+
+  /// Per-tuple error stats for `slot`; null unless tracking is enabled.
+  const MarginalErrorStats* error_stats(size_t slot) const {
+    return slots_.at(slot).stats.get();
+  }
+
+  /// z(confidence)·max-SE for `slot` — +inf until estimable, 0 for an
+  /// empty answer. Requires tracking.
+  double MaxHalfWidth(size_t slot) const;
 
   size_t num_queries() const { return slots_.size(); }
   const QueryAnswer& answer(size_t slot) const { return slots_.at(slot).answer; }
@@ -89,10 +121,18 @@ class SharedChainEvaluator {
     const ra::PlanNode* plan = nullptr;
     std::unique_ptr<view::MaterializedView> view;  // null in naive mode
     QueryAnswer answer;
+    /// Batched-means error tracking; null unless tracking is enabled.
+    std::unique_ptr<MarginalErrorStats> stats;
+    /// Set once the error bound held: the slot stops observing samples and
+    /// its view is paused. Monotone — a frozen slot never thaws.
+    bool converged = false;
   };
 
-  /// Folds `slot`'s current answer set into its marginal counts.
+  /// Folds `slot`'s current answer set into its marginal counts (and the
+  /// error tracker when tracking).
   void ObserveSample(Slot* slot);
+  /// Freezes `slot` if the error bound holds; updates the union map.
+  void MaybeFreeze(Slot* slot);
   /// True if any table with a non-empty delta in `deltas` is subscribed to
   /// by `view`.
   static bool ViewTouched(const view::MaterializedView& view,
@@ -110,6 +150,12 @@ class SharedChainEvaluator {
   std::unordered_map<std::string, size_t> subscriptions_;
   uint64_t views_skipped_ = 0;
   bool initialized_ = false;
+
+  // Run-until-error-bound state.
+  bool tracking_ = false;
+  ConvergenceOptions convergence_;
+  double z_ = 0.0;  // ZForConfidence(convergence_.confidence)
+  size_t num_converged_ = 0;
 };
 
 }  // namespace pdb

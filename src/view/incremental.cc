@@ -681,6 +681,14 @@ void MaterializedView::Initialize(const Database& db) {
 const DeltaMultiset& MaterializedView::Apply(const DeltaSet& deltas) {
   FGPDB_CHECK(initialized_) << "MaterializedView::Initialize not called";
   ViewRuntime& rt = compiled_.runtime();
+  if (paused_) {
+    // Convergence short-circuit: a drained view stops paying apply cost.
+    // The tree is not entered and the contents freeze at their last state
+    // (stale with respect to the chain until the view is resumed).
+    ++rt.stats.rounds_short_circuited;
+    paused_out_.Clear();
+    return paused_out_;
+  }
   ++rt.stats.rounds;
   // Route: mark the subscribed tables this round actually touched. Deltas
   // for unsubscribed tables never enter the tree. One pass over the

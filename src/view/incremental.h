@@ -80,6 +80,9 @@ class TupleArena {
 /// and the adaptive-thinning cost model).
 struct ApplyStats {
   uint64_t rounds = 0;
+  /// Apply() rounds short-circuited because the view was paused (its answer
+  /// converged, so the caller drained it from the fan-out).
+  uint64_t rounds_short_circuited = 0;
   /// Operators actually entered across all rounds.
   uint64_t operators_visited = 0;
   /// Operators skipped because no table of their subtree was touched
@@ -197,6 +200,15 @@ class MaterializedView {
 
   bool initialized() const { return initialized_; }
 
+  /// Convergence short-circuit: while paused, Apply() returns an empty
+  /// delta without entering the operator tree and the contents freeze.
+  /// Deltas skipped while paused are NOT replayed on resume — a resumed
+  /// view is stale and must be re-Initialized to catch up. Intended for
+  /// views whose marginal estimates have converged (run-until-error-bound):
+  /// they stop paying apply cost while the chain keeps serving other views.
+  void set_paused(bool paused) { paused_ = paused; }
+  bool paused() const { return paused_; }
+
   /// Subscription map: base table → number of scan operators reading it.
   const std::unordered_map<std::string, size_t>& subscriptions() const {
     return compiled_.runtime().subscriptions;
@@ -211,7 +223,11 @@ class MaterializedView {
  private:
   CompiledView compiled_;
   DeltaMultiset contents_;
+  // Reused empty output for short-circuited rounds (keeps the "valid until
+  // the next Apply" contract without touching operator buffers).
+  DeltaMultiset paused_out_;
   bool initialized_ = false;
+  bool paused_ = false;
 };
 
 }  // namespace view
