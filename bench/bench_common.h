@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -58,6 +59,22 @@ inline uint64_t DeriveSeed(uint64_t master, uint64_t stream) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// Bench-binary preamble: resolves the master seed, prints the one line a
+/// run is reproducible from, and strips `--seed=N` out of argv (Google
+/// Benchmark rejects flags it does not know). Call first thing in main.
+inline uint64_t InitBenchSeed(int* argc, char** argv, const char* tag) {
+  const uint64_t master = MasterSeed(*argc, argv);
+  std::cout << "[" << tag << "] master seed " << master
+            << " (reproduce with --seed=" << master << ")\n";
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]).rfind("--seed=", 0) == 0) continue;
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return master;
 }
 
 /// A ready-to-sample NER probabilistic database: corpus, TOKEN relation,

@@ -18,14 +18,16 @@
 using namespace fgpdb;
 using namespace fgpdb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const uint64_t master = InitBenchSeed(&argc, argv, "fig5");
   const size_t n = static_cast<size_t>(50000 * BenchScale());
   const uint64_t k = std::max<uint64_t>(100, n / 100);
 
   std::cout << "=== Figure 5: parallelizing query evaluation ("
-            << HumanCount(static_cast<double>(n)) << " tuples) ===\n"
+            << HumanCount(static_cast<double>(n)) << " tuples, master seed "
+            << master << ") ===\n"
             << "query: " << ie::kQuery1 << "\n\n";
-  NerBench bench(n);
+  NerBench bench(n, DeriveSeed(master, 0));
 
   // The paper copies an existing 10M-tuple world eight times; the copies
   // start at the chain's current state, not at the all-'O' initialization.
@@ -34,7 +36,8 @@ int main() {
   // averaging cannot reduce it — the Fig. 5 effect is variance reduction.
   {
     auto proposal = bench.MakeProposal();
-    auto sampler = bench.tokens.pdb->MakeSampler(proposal.get(), 271828);
+    auto sampler =
+        bench.tokens.pdb->MakeSampler(proposal.get(), DeriveSeed(master, 1));
     sampler->Run(DefaultBurnIn(n));
     bench.tokens.pdb->DiscardDeltas();
   }
@@ -53,7 +56,7 @@ int main() {
   truth_options.samples_per_chain = 1500;
   truth_options.chain_options = {.steps_per_sample = k,
                                  .burn_in = DefaultBurnIn(n),
-                                 .seed = 314159};
+                                 .seed = DeriveSeed(master, 2)};
   const pdb::QueryAnswer truth = pdb::EvaluateParallel(
       *bench.tokens.pdb, *truth_plan, factory, truth_options);
 
@@ -74,7 +77,8 @@ int main() {
       // averaging cannot reduce it.
       options.chain_options = {.steps_per_sample = k,
                                .burn_in = DefaultBurnIn(n),
-                               .seed = 1000 + static_cast<uint64_t>(r) * 71};
+                               .seed = DeriveSeed(master,
+                                                  3 + static_cast<uint64_t>(r))};
       options.use_threads = true;
       const pdb::QueryAnswer answer =
           pdb::EvaluateParallel(*bench.tokens.pdb,

@@ -18,11 +18,14 @@ using namespace fgpdb::bench;
 
 namespace {
 
+uint64_t g_master = 2004;
+
 // The TOKEN relation alone (no model/factor graph): clone cost is a pure
 // storage-layer property.
 ie::TokenPdb MakeTokens(size_t num_tokens) {
-  return ie::BuildTokenPdb(ie::GenerateCorpus(
-      {.num_tokens = num_tokens, .tokens_per_doc = 250, .seed = 2004}));
+  return ie::BuildTokenPdb(ie::GenerateCorpus({.num_tokens = num_tokens,
+                                               .tokens_per_doc = 250,
+                                               .seed = DeriveSeed(g_master, 0)}));
 }
 
 void BM_DatabaseDeepClone(benchmark::State& state) {
@@ -77,4 +80,11 @@ BENCHMARK(BM_SnapshotTouchRows)
     ->Args({100000, 10000})
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_master = InitBenchSeed(&argc, argv, "micro_clone");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

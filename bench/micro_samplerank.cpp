@@ -12,15 +12,19 @@ using namespace fgpdb::bench;
 
 namespace {
 
+uint64_t g_master = 2004;
+
 void BM_SampleRankStep(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  ie::SyntheticCorpus corpus = ie::GenerateCorpus({.num_tokens = n});
+  ie::SyntheticCorpus corpus =
+      ie::GenerateCorpus({.num_tokens = n, .seed = DeriveSeed(g_master, 0)});
   ie::TokenPdb tokens = ie::BuildTokenPdb(corpus);
   ie::SkipChainNerModel model(tokens);
   learn::LabelAccuracyObjective objective(tokens.truth);
   ie::DocumentBatchProposal proposal(&tokens.docs);
   learn::SampleRank trainer(&model, &proposal, &objective,
-                            {.learning_rate = 1.0, .seed = 3});
+                            {.learning_rate = 1.0,
+                             .seed = DeriveSeed(g_master, 1)});
   factor::World world = tokens.pdb->world();
   for (auto _ : state) {
     trainer.Train(&world, 1);
@@ -31,14 +35,16 @@ void BM_SampleRankStep(benchmark::State& state) {
 void BM_SampleRankTrainToAccuracy(benchmark::State& state) {
   // Whole-run cost: steps needed to reach 95% walk accuracy from all-O.
   const size_t n = 20000;
-  ie::SyntheticCorpus corpus = ie::GenerateCorpus({.num_tokens = n});
+  ie::SyntheticCorpus corpus =
+      ie::GenerateCorpus({.num_tokens = n, .seed = DeriveSeed(g_master, 2)});
   ie::TokenPdb tokens = ie::BuildTokenPdb(corpus);
   learn::LabelAccuracyObjective objective(tokens.truth);
   for (auto _ : state) {
     ie::SkipChainNerModel model(tokens);
     ie::DocumentBatchProposal proposal(&tokens.docs);
     learn::SampleRank trainer(&model, &proposal, &objective,
-                              {.learning_rate = 1.0, .seed = 7});
+                              {.learning_rate = 1.0,
+                               .seed = DeriveSeed(g_master, 3)});
     factor::World world = tokens.pdb->world();
     uint64_t steps = 0;
     while (objective.Score(world) / tokens.num_tokens() < 0.95 &&
@@ -57,4 +63,11 @@ BENCHMARK(BM_SampleRankStep)->Arg(10000)->Arg(100000)
 BENCHMARK(BM_SampleRankTrainToAccuracy)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_master = InitBenchSeed(&argc, argv, "micro_samplerank");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

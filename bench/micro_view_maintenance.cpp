@@ -20,6 +20,8 @@ using namespace fgpdb::bench;
 
 namespace {
 
+uint64_t g_master = 2004;
+
 // Builds a DeltaSet of `updates` label flips, like a k-step MH round.
 view::DeltaSet MakeLabelDeltas(NerBench& bench, size_t updates,
                                uint64_t seed) {
@@ -35,7 +37,7 @@ view::DeltaSet MakeLabelDeltas(NerBench& bench, size_t updates,
 
 void BM_FullQueryExecution(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  NerBench bench(n);
+  NerBench bench(n, DeriveSeed(g_master, 0));
   ra::PlanPtr plan = sql::PlanQuery(ie::kQuery1, bench.tokens.pdb->db());
   for (auto _ : state) {
     benchmark::DoNotOptimize(ra::Execute(*plan, bench.tokens.pdb->db()));
@@ -63,12 +65,13 @@ constexpr size_t kDeltaRounds = 1000;
 void ApplyDeltaBench(benchmark::State& state, const char* query,
                      size_t rounds, size_t flips) {
   const size_t n = static_cast<size_t>(state.range(0));
-  NerBench bench(n);
+  NerBench bench(n, DeriveSeed(g_master, 1));
   ra::PlanPtr plan = sql::PlanQuery(query, bench.tokens.pdb->db());
   view::MaterializedView view(*plan);
   view.Initialize(bench.tokens.pdb->db());
   // A few spare rounds in case the framework runs warm-up iterations.
-  const auto deltas = MakeDeltaSequence(bench, rounds + 64, flips, 1);
+  const auto deltas =
+      MakeDeltaSequence(bench, rounds + 64, flips, DeriveSeed(g_master, 2));
   size_t i = 0;
   for (auto _ : state) {
     FGPDB_CHECK_LT(i, deltas.size());
@@ -163,7 +166,8 @@ void BM_ViewApplyDeltaJoinCross(benchmark::State& state) {
       std::vector<size_t>{0}, std::vector<size_t>{0}, nullptr);
   view::MaterializedView view(*plan);
   view.Initialize(db);
-  const auto deltas = MakeCrossDeltas(kCrossRounds + 64, flips, 11);
+  const auto deltas =
+      MakeCrossDeltas(kCrossRounds + 64, flips, DeriveSeed(g_master, 3));
   size_t i = 0;
   for (auto _ : state) {
     FGPDB_CHECK_LT(i, deltas.size());
@@ -252,8 +256,8 @@ void BM_ViewApplyDeltaManyTables(benchmark::State& state) {
   ra::PlanPtr plan = BuildManyTableJoinPlan(db);
   view::MaterializedView view(*plan);
   view.Initialize(db);
-  const auto deltas =
-      MakeManyTableDeltas(kManyTableRounds + 64, touched, /*flips=*/4, 7);
+  const auto deltas = MakeManyTableDeltas(kManyTableRounds + 64, touched,
+                                          /*flips=*/4, DeriveSeed(g_master, 4));
   size_t i = 0;
   for (auto _ : state) {
     FGPDB_CHECK_LT(i, deltas.size());
@@ -274,7 +278,7 @@ void BM_DeltaCoalescing(benchmark::State& state) {
   // Ablation (DESIGN.md): per-row coalescing means a row flipped R times
   // between evaluations contributes at most 2 delta entries, not 2R.
   const size_t flips = static_cast<size_t>(state.range(0));
-  NerBench bench(10000);
+  NerBench bench(10000, DeriveSeed(g_master, 5));
   const auto domain = ie::LabelDomain();
   for (auto _ : state) {
     view::DeltaSet deltas;
@@ -295,7 +299,7 @@ void BM_AccumulatorCoalescing(benchmark::State& state) {
   // time its row is touched; Flush emits at most one −/+ pair per changed
   // row. Compare with BM_DeltaCoalescing's tuple-multiset path.
   const size_t flips = static_cast<size_t>(state.range(0));
-  NerBench bench(10000);
+  NerBench bench(10000, DeriveSeed(g_master, 6));
   for (auto _ : state) {
     view::DeltaAccumulator acc;
     view::DeltaSet deltas;
@@ -335,4 +339,11 @@ BENCHMARK(BM_AccumulatorCoalescing)->Arg(10)->Arg(1000)
     ->Unit(benchmark::kMicrosecond);
 #endif
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_master = InitBenchSeed(&argc, argv, "micro_view_maintenance");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,6 +27,7 @@ BioConstrainedProposal::BioConstrainedProposal(
       prev_[doc[i + 1]] = doc[i];
     }
   }
+  valid_buf_.reserve(kNumLabels);
 }
 
 void BioConstrainedProposal::ReloadBatch(Rng& rng) {
@@ -38,38 +39,43 @@ void BioConstrainedProposal::ReloadBatch(Rng& rng) {
   proposals_since_reload_ = 0;
 }
 
-std::vector<uint32_t> BioConstrainedProposal::ValidLabels(
-    const factor::World& world, factor::VarId var) const {
+void BioConstrainedProposal::FillValidLabels(const factor::World& world,
+                                             factor::VarId var) {
   // The previous label is 'O' at document starts (a mention cannot
   // continue across a boundary).
   const uint32_t prev_label =
       prev_[var] == kNoVar ? kLabelO : world.Get(prev_[var]);
-  std::vector<uint32_t> valid;
-  valid.reserve(kNumLabels);
+  valid_buf_.clear();
   for (uint32_t y = 0; y < kNumLabels; ++y) {
     if (!ValidTransition(prev_label, y)) continue;
     if (next_[var] != kNoVar &&
         !ValidTransition(y, world.Get(next_[var]))) {
       continue;
     }
-    valid.push_back(y);
+    valid_buf_.push_back(y);
   }
-  return valid;
 }
 
-factor::Change BioConstrainedProposal::Propose(const factor::World& world,
-                                               Rng& rng, double* log_ratio) {
+std::vector<uint32_t> BioConstrainedProposal::ValidLabels(
+    const factor::World& world, factor::VarId var) const {
+  auto* self = const_cast<BioConstrainedProposal*>(this);
+  self->FillValidLabels(world, var);
+  return valid_buf_;
+}
+
+void BioConstrainedProposal::Propose(const factor::World& world, Rng& rng,
+                                     factor::Change* change,
+                                     double* log_ratio) {
   *log_ratio = 0.0;  // Candidate set depends only on unchanged neighbors.
+  change->Clear();
   if (batch_.empty() || proposals_since_reload_ >= proposals_per_batch_) {
     ReloadBatch(rng);
   }
   ++proposals_since_reload_;
   const factor::VarId var = batch_[rng.UniformInt(batch_.size())];
-  const std::vector<uint32_t> valid = ValidLabels(world, var);
-  factor::Change change;
-  if (valid.empty()) return change;  // Neighbors pin this label; stay put.
-  change.Set(var, valid[rng.UniformInt(valid.size())]);
-  return change;
+  FillValidLabels(world, var);
+  if (valid_buf_.empty()) return;  // Neighbors pin this label; stay put.
+  change->Set(var, valid_buf_[rng.UniformInt(valid_buf_.size())]);
 }
 
 }  // namespace ie

@@ -31,8 +31,9 @@ class BioConstrainedProposal final : public infer::Proposal {
                          size_t proposals_per_batch = 2000,
                          size_t docs_per_batch = 5);
 
-  factor::Change Propose(const factor::World& world, Rng& rng,
-                         double* log_ratio) override;
+  using infer::Proposal::Propose;
+  void Propose(const factor::World& world, Rng& rng, factor::Change* change,
+               double* log_ratio) override;
 
   /// Labels valid at `var` given its neighbors' current labels. Exposed
   /// for tests.
@@ -41,6 +42,8 @@ class BioConstrainedProposal final : public infer::Proposal {
 
  private:
   void ReloadBatch(Rng& rng);
+  /// Allocation-free ValidLabels: fills the member candidate buffer.
+  void FillValidLabels(const factor::World& world, factor::VarId var);
 
   const std::vector<std::vector<factor::VarId>>* docs_;
   size_t proposals_per_batch_;
@@ -48,6 +51,9 @@ class BioConstrainedProposal final : public infer::Proposal {
   std::vector<factor::VarId> batch_;
   std::vector<factor::VarId> prev_;
   std::vector<factor::VarId> next_;
+  /// Reused candidate-label buffer (≤ kNumLabels entries) — the proposal's
+  /// hot loop touches no heap.
+  std::vector<uint32_t> valid_buf_;
   size_t proposals_since_reload_ = 0;
   static constexpr factor::VarId kNoVar = ~0u;
 };

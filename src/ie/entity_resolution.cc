@@ -141,6 +141,34 @@ double EntityResolutionModel::LogScoreDelta(
   return delta;
 }
 
+bool EntityResolutionModel::ConditionalRow(const factor::World& world,
+                                           factor::VarId var, double* out,
+                                           factor::ScoreScratch* scratch) const {
+  (void)scratch;  // The scatter needs no per-call working memory.
+  const size_t n = mentions_.size();
+  const uint32_t cvar = world.Get(var);
+  std::fill(out, out + n, 0.0);
+  const double* row = affinity_.data() + static_cast<size_t>(var) * n;
+  // One ascending pass over the partners. A partner co-clustered with `var`
+  // loses its affinity in every candidate lane except cvar (moving away
+  // breaks the pair); any other partner gains its affinity in exactly the
+  // lane of its own cluster id (moving there forms the pair). Per lane this
+  // adds the same terms in the same ascending-partner order as the
+  // per-candidate LogScoreDelta path, so each row entry is bitwise-equal.
+  for (size_t j = 0; j < n; ++j) {
+    if (j == var) continue;
+    const uint32_t cj = world.Get(static_cast<factor::VarId>(j));
+    const double a = row[j];
+    if (cj == cvar) {
+      for (size_t v = 0; v < n; ++v) out[v] -= a;
+    } else {
+      out[cj] += a;
+    }
+  }
+  out[cvar] = 0.0;  // Staying put is exactly a no-op, not a rounded sum.
+  return true;
+}
+
 std::unique_ptr<factor::ScoreScratch> EntityResolutionModel::MakeScratch()
     const {
   return std::make_unique<DeltaScratch>();
@@ -177,12 +205,12 @@ std::vector<std::vector<size_t>> EntityResolutionModel::Clusters(
   return out;
 }
 
-factor::Change SplitMergeProposal::Propose(const factor::World& world, Rng& rng,
-                                           double* log_ratio) {
+void SplitMergeProposal::Propose(const factor::World& world, Rng& rng,
+                                 factor::Change* change, double* log_ratio) {
   *log_ratio = 0.0;
-  factor::Change change;
+  change->Clear();
   const size_t n = model_.num_mentions();
-  if (n < 2) return change;
+  if (n < 2) return;
 
   // Pick an unordered mention pair uniformly.
   const size_t i = rng.UniformInt(n);
@@ -194,21 +222,21 @@ factor::Change SplitMergeProposal::Propose(const factor::World& world, Rng& rng,
 
   if (ci == cj) {
     // --- Split: j anchors a fresh cluster; other members flip a fair coin.
-    std::vector<size_t> members;
-    std::vector<bool> used(n, false);
+    members_.clear();
+    used_.assign(n, 0);
     for (size_t m = 0; m < n; ++m) {
-      used[world.Get(static_cast<factor::VarId>(m))] = true;
-      if (world.Get(static_cast<factor::VarId>(m)) == ci) members.push_back(m);
+      used_[world.Get(static_cast<factor::VarId>(m))] = 1;
+      if (world.Get(static_cast<factor::VarId>(m)) == ci) members_.push_back(m);
     }
-    const size_t s = members.size();
-    if (s < 2) return change;  // Cannot split a singleton.
+    const size_t s = members_.size();
+    if (s < 2) return;  // Cannot split a singleton.
     uint32_t fresh = 0;
-    while (fresh < n && used[fresh]) ++fresh;
+    while (fresh < n && used_[fresh]) ++fresh;
     FGPDB_CHECK_LT(fresh, n) << "no free cluster id";  // ≤ n clusters always.
-    change.Set(static_cast<factor::VarId>(j), fresh);
-    for (size_t m : members) {
+    change->Set(static_cast<factor::VarId>(j), fresh);
+    for (size_t m : members_) {
       if (m == i || m == j) continue;
-      if (rng.Bernoulli(0.5)) change.Set(static_cast<factor::VarId>(m), fresh);
+      if (rng.Bernoulli(0.5)) change->Set(static_cast<factor::VarId>(m), fresh);
     }
     // q(merge back)/q(split): the |A||B| pair-choice factors cancel, leaving
     // the (1/2)^(s-2) assignment probability.
@@ -221,23 +249,22 @@ factor::Change SplitMergeProposal::Propose(const factor::World& world, Rng& rng,
       if (cm == ci) ++s;
       if (cm == cj) {
         ++s;
-        change.Set(static_cast<factor::VarId>(m), ci);
+        change->Set(static_cast<factor::VarId>(m), ci);
       }
     }
     *log_ratio = -static_cast<double>(s - 2) * std::log(2.0);
   }
-  return change;
 }
 
-factor::Change SingleMentionMoveProposal::Propose(const factor::World& world,
-                                                  Rng& rng, double* log_ratio) {
+void SingleMentionMoveProposal::Propose(const factor::World& world, Rng& rng,
+                                        factor::Change* change,
+                                        double* log_ratio) {
   (void)world;
   *log_ratio = 0.0;
-  factor::Change change;
+  change->Clear();
   const size_t n = model_.num_mentions();
   const auto var = static_cast<factor::VarId>(rng.UniformInt(n));
-  change.Set(var, static_cast<uint32_t>(rng.UniformInt(n)));
-  return change;
+  change->Set(var, static_cast<uint32_t>(rng.UniformInt(n)));
 }
 
 }  // namespace ie

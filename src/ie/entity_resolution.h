@@ -44,6 +44,13 @@ class EntityResolutionModel final : public factor::Model {
   double LogScoreDelta(const factor::World& world,
                        const factor::Change& change,
                        factor::ScoreScratch* scratch) const override;
+  /// Batched Gibbs conditional over cluster ids: one ascending pass over
+  /// the affinity row scatters each pairwise term into the candidate lane
+  /// it affects, in the same per-lane order as the per-candidate path —
+  /// bitwise-identical rows at O(n + n·|cluster|) instead of O(n²).
+  bool ConditionalRow(const factor::World& world, factor::VarId var,
+                      double* out,
+                      factor::ScoreScratch* scratch) const override;
   std::unique_ptr<factor::ScoreScratch> MakeScratch() const override;
   double LogScore(const factor::World& world) const override;
   size_t num_variables() const override { return mentions_.size(); }
@@ -78,11 +85,16 @@ class SplitMergeProposal final : public infer::Proposal {
   explicit SplitMergeProposal(const EntityResolutionModel& model)
       : model_(model) {}
 
-  factor::Change Propose(const factor::World& world, Rng& rng,
-                         double* log_ratio) override;
+  using infer::Proposal::Propose;
+  void Propose(const factor::World& world, Rng& rng, factor::Change* change,
+               double* log_ratio) override;
 
  private:
   const EntityResolutionModel& model_;
+  // Reused split working buffers (cluster members, used cluster-id bitmap):
+  // propose allocates nothing once their capacity is warm.
+  std::vector<size_t> members_;
+  std::vector<uint8_t> used_;
 };
 
 /// Baseline kernel: move one uniformly chosen mention to a uniformly chosen
@@ -93,8 +105,9 @@ class SingleMentionMoveProposal final : public infer::Proposal {
   explicit SingleMentionMoveProposal(const EntityResolutionModel& model)
       : model_(model) {}
 
-  factor::Change Propose(const factor::World& world, Rng& rng,
-                         double* log_ratio) override;
+  using infer::Proposal::Propose;
+  void Propose(const factor::World& world, Rng& rng, factor::Change* change,
+               double* log_ratio) override;
 
  private:
   const EntityResolutionModel& model_;

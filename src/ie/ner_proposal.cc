@@ -25,18 +25,21 @@ void DocumentBatchProposal::ReloadBatch(Rng& rng) {
   proposals_since_reload_ = 0;
 }
 
-factor::Change DocumentBatchProposal::Propose(const factor::World& /*world*/,
-                                              Rng& rng, double* log_ratio) {
+void DocumentBatchProposal::Propose(const factor::World& /*world*/, Rng& rng,
+                                    factor::Change* change,
+                                    double* log_ratio) {
   *log_ratio = 0.0;
+  change->Clear();
   if (batch_.empty() || proposals_since_reload_ >= options_.proposals_per_batch) {
     ReloadBatch(rng);
   }
   ++proposals_since_reload_;
-  factor::Change change;
+  // The batch IS the dense variable addressing: sites resolve by one index
+  // into the preloaded VarId array, no hashing, and the caller's Change
+  // buffer is reused — propose allocates only on the (rare) batch reload.
   const factor::VarId var = batch_[rng.UniformInt(batch_.size())];
   const uint32_t label = static_cast<uint32_t>(rng.UniformInt(kNumLabels));
-  change.Set(var, label);
-  return change;
+  change->Set(var, label);
 }
 
 }  // namespace ie

@@ -32,8 +32,9 @@ class DocumentBatchProposal final : public infer::Proposal {
   DocumentBatchProposal(const std::vector<std::vector<factor::VarId>>* docs,
                         NerProposalOptions options = {});
 
-  factor::Change Propose(const factor::World& world, Rng& rng,
-                         double* log_ratio) override;
+  using infer::Proposal::Propose;
+  void Propose(const factor::World& world, Rng& rng, factor::Change* change,
+               double* log_ratio) override;
 
   /// Variables in the current batch (empty before the first proposal).
   const std::vector<factor::VarId>& batch() const { return batch_; }

@@ -27,6 +27,11 @@ bool MetropolisHastings::Step() {
   return phase_totals_ != nullptr ? StepImpl<true>() : StepImpl<false>();
 }
 
+size_t MetropolisHastings::Step(size_t n) {
+  return phase_totals_ != nullptr ? StepBatchImpl<true>(n)
+                                  : StepBatchImpl<false>(n);
+}
+
 template <bool kTimed>
 bool MetropolisHastings::StepImpl() {
   std::optional<Stopwatch> phase_timer;
@@ -37,8 +42,8 @@ bool MetropolisHastings::StepImpl() {
 
   ++num_proposed_;
   double log_proposal_ratio = 0.0;
-  const factor::Change change =
-      proposal_->Propose(*world_, rng_, &log_proposal_ratio);
+  proposal_->Propose(*world_, rng_, &change_buf_, &log_proposal_ratio);
+  const factor::Change& change = change_buf_;
   if constexpr (kTimed) {
     phase_totals_->propose_seconds += phase_timer->ElapsedSeconds();
     phase_timer->Reset();
@@ -79,8 +84,82 @@ bool MetropolisHastings::StepImpl() {
   }
   if constexpr (kTimed) {
     phase_totals_->mirror_seconds += phase_timer->ElapsedSeconds();
+    ++phase_totals_->mirror_flushes;
   }
   return true;
+}
+
+template <bool kTimed>
+size_t MetropolisHastings::StepBatchImpl(size_t n) {
+  // Listener notifications carry concatenated per-step applied records, so
+  // a flush is exactly what the same steps would have reported one at a
+  // time: same assignments, same order, same coalesced deltas. Without
+  // listeners the applied stream has no consumer and is not recorded.
+  const bool record = !listeners_.empty();
+  batch_applied_.clear();
+  size_t accepted = 0;
+
+  std::optional<Stopwatch> phase_timer;
+  if constexpr (kTimed) phase_timer.emplace();
+
+  auto flush = [&]() {
+    if (batch_applied_.empty()) return;
+    if constexpr (kTimed) phase_timer->Reset();
+    for (const auto& listener : listeners_) listener(batch_applied_);
+    batch_applied_.clear();
+    if constexpr (kTimed) {
+      phase_totals_->mirror_seconds += phase_timer->ElapsedSeconds();
+      ++phase_totals_->mirror_flushes;
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    if constexpr (kTimed) {
+      phase_timer->Reset();
+      ++phase_totals_->steps;
+    }
+    ++num_proposed_;
+    double log_proposal_ratio = 0.0;
+    proposal_->Propose(*world_, rng_, &change_buf_, &log_proposal_ratio);
+    if constexpr (kTimed) {
+      phase_totals_->propose_seconds += phase_timer->ElapsedSeconds();
+      phase_timer->Reset();
+    }
+    if (change_buf_.empty()) {
+      ++num_accepted_;
+      ++accepted;
+      continue;
+    }
+    const double log_model_ratio =
+        model_.LogScoreDelta(*world_, change_buf_, score_scratch_.get());
+    const double log_alpha = log_model_ratio + log_proposal_ratio;
+    bool accept = log_alpha >= 0.0;
+    if (!accept) accept = rng_.Uniform() < std::exp(log_alpha);
+    if constexpr (kTimed) {
+      phase_totals_->score_seconds += phase_timer->ElapsedSeconds();
+      phase_timer->Reset();
+    }
+    if (!accept) continue;
+
+    // Apply in assignment order, keeping only real modifications — the
+    // in-place equivalent of World::Apply + the no-op filter, appending
+    // straight onto the batch buffer.
+    for (const auto& a : change_buf_.assignments) {
+      const uint32_t old_value = world_->Get(a.var);
+      world_->Set(a.var, a.value);
+      if (record && old_value != a.value) {
+        batch_applied_.push_back({a.var, old_value, a.value});
+      }
+    }
+    ++num_accepted_;
+    ++accepted;
+    if constexpr (kTimed) {
+      phase_totals_->apply_seconds += phase_timer->ElapsedSeconds();
+    }
+    if (batch_applied_.size() >= mirror_batch_limit_) flush();
+  }
+  flush();
+  return accepted;
 }
 
 }  // namespace infer

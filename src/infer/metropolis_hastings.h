@@ -8,6 +8,14 @@
 // cancel), and on acceptance applies the change to the world and notifies
 // listeners. The pdb layer registers a listener that mirrors accepted
 // changes into the relational tables and the Δ−/Δ+ buffers.
+//
+// Step(n) is the batched step kernel: n propose/score/apply transitions run
+// against the in-memory world, and the accepted-jump stream crosses the
+// listener (mirror/DeltaAccumulator) boundary once per flush instead of
+// once per step. Listeners see the same assignments in the same order as n
+// single Steps — the concatenation of the per-step applied records — so the
+// database mirror, the coalesced deltas, and every downstream view and
+// marginal are bitwise-identical; only the crossing count is amortized.
 #ifndef FGPDB_INFER_METROPOLIS_HASTINGS_H_
 #define FGPDB_INFER_METROPOLIS_HASTINGS_H_
 
@@ -32,9 +40,12 @@ namespace infer {
 ///   mirror  — listener notification: table mirroring + delta accumulation
 ///
 /// Rejected steps contribute to propose/score only; empty proposals
-/// (self-transitions) to propose only.
+/// (self-transitions) to propose only. Under batched stepping the mirror
+/// phase is paid per flush, not per step — `mirror_flushes` counts the
+/// boundary crossings so per-step and per-crossing costs both fall out.
 struct StepPhaseTotals {
   uint64_t steps = 0;
+  uint64_t mirror_flushes = 0;
   double propose_seconds = 0.0;
   double score_seconds = 0.0;
   double apply_seconds = 0.0;
@@ -47,7 +58,8 @@ struct StepPhaseTotals {
 
 class MetropolisHastings {
  public:
-  /// Listener invoked after an accepted change is applied to the world.
+  /// Listener invoked after accepted changes are applied to the world.
+  /// Under Step(n) one invocation may carry the assignments of many steps.
   using Listener =
       std::function<void(const std::vector<factor::AppliedAssignment>&)>;
 
@@ -60,12 +72,22 @@ class MetropolisHastings {
   }
 
   /// One propose/accept-or-reject transition. Returns true on acceptance.
+  /// Listeners are notified before returning (the unbatched reference
+  /// path — per-step granularity for tests and ablations).
   bool Step();
 
-  /// Runs `n` transitions (Algorithm 2's random walk).
-  void Run(size_t n) {
-    for (size_t i = 0; i < n; ++i) Step();
-  }
+  /// The batched step kernel: runs `n` transitions, buffering the accepted
+  /// non-noop assignments and crossing the listener boundary once every
+  /// `mirror_batch_limit()` assignments (and once more for the tail), so
+  /// the per-step mirror cost amortizes away. All buffered assignments are
+  /// flushed before returning — after Step(n), listeners have seen exactly
+  /// what n single Steps would have shown them, in the same order. Returns
+  /// the number of accepted transitions.
+  size_t Step(size_t n);
+
+  /// Runs `n` transitions (Algorithm 2's random walk) through the batched
+  /// kernel.
+  void Run(size_t n) { Step(n); }
 
   uint64_t num_proposed() const { return num_proposed_; }
   uint64_t num_accepted() const { return num_accepted_; }
@@ -78,6 +100,16 @@ class MetropolisHastings {
 
   factor::World& world() { return *world_; }
   Rng& rng() { return rng_; }
+
+  /// Assignments buffered between listener flushes under Step(n). 1 makes
+  /// the batched kernel notify per accepted step (the unbatched ablation);
+  /// the default keeps the buffer well under a page while making the
+  /// boundary crossing cost negligible per step.
+  void set_mirror_batch_limit(size_t limit) {
+    FGPDB_CHECK_GT(limit, 0u);
+    mirror_batch_limit_ = limit;
+  }
+  size_t mirror_batch_limit() const { return mirror_batch_limit_; }
 
   /// Attaches a per-phase timing accumulator (nullptr detaches; the
   /// default). While attached, every Step() adds its phase wall-clock to
@@ -99,8 +131,18 @@ class MetropolisHastings {
   /// detached (default) path pays nothing for the profiling hook.
   template <bool kTimed>
   bool StepImpl();
+  /// Step(n) body under the same kTimed discipline.
+  template <bool kTimed>
+  size_t StepBatchImpl(size_t n);
 
+  /// Reused proposal buffer: Propose writes into it every step, so the
+  /// propose phase does zero allocation.
+  factor::Change change_buf_;
   std::vector<factor::AppliedAssignment> applied_scratch_;
+  /// Accepted-jump buffer for the batched kernel; flushed to listeners at
+  /// mirror_batch_limit_ assignments and at the end of every Step(n).
+  std::vector<factor::AppliedAssignment> batch_applied_;
+  size_t mirror_batch_limit_ = 4096;
   uint64_t num_proposed_ = 0;
   uint64_t num_accepted_ = 0;
   StepPhaseTotals* phase_totals_ = nullptr;

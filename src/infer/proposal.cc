@@ -7,25 +7,30 @@
 namespace fgpdb {
 namespace infer {
 
-factor::Change GibbsProposal::Propose(const factor::World& world, Rng& rng,
-                                      double* log_ratio) {
+void GibbsProposal::Propose(const factor::World& world, Rng& rng,
+                            factor::Change* change, double* log_ratio) {
   *log_ratio = 0.0;
-  factor::Change change;
-  if (model_.num_variables() == 0) return change;
+  change->Clear();
+  if (model_.num_variables() == 0) return;
   const auto var =
       static_cast<factor::VarId>(rng.UniformInt(model_.num_variables()));
   const size_t k = model_.domain_size(var);
   const uint32_t old_value = world.Get(var);
 
   // Conditional log-weights: delta of moving var to each candidate value
-  // (the current value has delta 0 by definition).
+  // (the current value has delta 0 by definition). The vectorized
+  // ConditionalRow computes the whole row in one call when the model
+  // supports it; the per-candidate loop is the scalar reference path.
   std::vector<double>& log_weights = log_weights_;
-  log_weights.assign(k, 0.0);
-  for (uint32_t v = 0; v < k; ++v) {
-    if (v == old_value) continue;
-    candidate_.assignments.clear();
-    candidate_.Set(var, v);
-    log_weights[v] = model_.LogScoreDelta(world, candidate_, scratch_.get());
+  log_weights.resize(k);
+  if (!model_.ConditionalRow(world, var, log_weights.data(), scratch_.get())) {
+    std::fill(log_weights.begin(), log_weights.end(), 0.0);
+    for (uint32_t v = 0; v < k; ++v) {
+      if (v == old_value) continue;
+      candidate_.Clear();
+      candidate_.Set(var, v);
+      log_weights[v] = model_.LogScoreDelta(world, candidate_, scratch_.get());
+    }
   }
   const uint32_t new_value = static_cast<uint32_t>(rng.LogCategorical(log_weights));
 
@@ -36,8 +41,7 @@ factor::Change GibbsProposal::Propose(const factor::World& world, Rng& rng,
   const double log_q_backward = log_weights[old_value] - lse;
   *log_ratio = log_q_backward - log_q_forward;
 
-  if (new_value != old_value) change.Set(var, new_value);
-  return change;
+  if (new_value != old_value) change->Set(var, new_value);
 }
 
 }  // namespace infer

@@ -3,6 +3,13 @@
 // A proposal hypothesizes a Change to the current world. Constraint-
 // preserving proposals (like split-merge for entity resolution) keep the
 // chain inside the feasible region without deterministic constraint factors.
+//
+// Propose() writes into a caller-owned Change so the hot path allocates
+// nothing: the sampler passes the same Change buffer every step and the
+// assignment vector's capacity is reused forever. Proposers likewise keep
+// their site-selection state (document batches, candidate-label buffers)
+// in member storage — propose does zero hashing/allocation, exactly like
+// the compiled scoring path it feeds.
 #ifndef FGPDB_INFER_PROPOSAL_H_
 #define FGPDB_INFER_PROPOSAL_H_
 
@@ -20,10 +27,20 @@ class Proposal {
  public:
   virtual ~Proposal() = default;
 
-  /// Draws w' ~ q(·|w). `log_ratio` receives log q(w|w') − log q(w'|w)
-  /// (0 for symmetric proposals). An empty Change is a self-transition.
-  virtual factor::Change Propose(const factor::World& world, Rng& rng,
-                                 double* log_ratio) = 0;
+  /// Draws w' ~ q(·|w) into `*change` (cleared first; its buffer capacity is
+  /// reused). `log_ratio` receives log q(w|w') − log q(w'|w) (0 for
+  /// symmetric proposals). An empty Change is a self-transition.
+  virtual void Propose(const factor::World& world, Rng& rng,
+                       factor::Change* change, double* log_ratio) = 0;
+
+  /// Convenience overload returning the Change by value (allocates; for
+  /// tests and diagnostics, never the sampler's hot loop).
+  factor::Change Propose(const factor::World& world, Rng& rng,
+                         double* log_ratio) {
+    factor::Change change;
+    Propose(world, rng, &change, log_ratio);
+    return change;
+  }
 };
 
 /// The generic symmetric kernel: pick a variable uniformly, pick a new value
@@ -33,17 +50,17 @@ class UniformSingleVariableProposal final : public Proposal {
   explicit UniformSingleVariableProposal(const factor::Model& model)
       : model_(model) {}
 
-  factor::Change Propose(const factor::World& /*world*/, Rng& rng,
-                         double* log_ratio) override {
+  using Proposal::Propose;
+  void Propose(const factor::World& /*world*/, Rng& rng,
+               factor::Change* change, double* log_ratio) override {
     *log_ratio = 0.0;
-    factor::Change change;
-    if (model_.num_variables() == 0) return change;
+    change->Clear();
+    if (model_.num_variables() == 0) return;
     const auto var =
         static_cast<factor::VarId>(rng.UniformInt(model_.num_variables()));
     const uint32_t value =
         static_cast<uint32_t>(rng.UniformInt(model_.domain_size(var)));
-    change.Set(var, value);
-    return change;
+    change->Set(var, value);
   }
 
  private:
@@ -53,13 +70,20 @@ class UniformSingleVariableProposal final : public Proposal {
 /// Gibbs move expressed as an MH proposal: resamples one uniformly chosen
 /// variable from its full conditional. The proposal-ratio correction makes
 /// the MH acceptance probability exactly 1, so the chain never rejects.
+///
+/// The conditional over the label axis is computed through the model's
+/// ConditionalRow fast path when available (one vectorized reduction over
+/// the compiled weight tables); models without one fall back to one
+/// LogScoreDelta per candidate value. Both paths produce bitwise-identical
+/// weight rows, so the chain trajectory does not depend on which ran.
 class GibbsProposal final : public Proposal {
  public:
   explicit GibbsProposal(const factor::Model& model)
       : model_(model), scratch_(model.MakeScratch()) {}
 
-  factor::Change Propose(const factor::World& world, Rng& rng,
-                         double* log_ratio) override;
+  using Proposal::Propose;
+  void Propose(const factor::World& world, Rng& rng, factor::Change* change,
+               double* log_ratio) override;
 
  private:
   const factor::Model& model_;

@@ -14,13 +14,14 @@ SubsetUniformProposal::SubsetUniformProposal(
   }
 }
 
-factor::Change SubsetUniformProposal::Propose(const factor::World& /*world*/,
-                                              Rng& rng, double* log_ratio) {
+void SubsetUniformProposal::Propose(const factor::World& /*world*/, Rng& rng,
+                                    factor::Change* change,
+                                    double* log_ratio) {
   *log_ratio = 0.0;  // Symmetric within the subset.
-  factor::Change change;
+  change->Clear();
   const factor::VarId var = variables_[rng.UniformInt(variables_.size())];
-  change.Set(var, static_cast<uint32_t>(rng.UniformInt(model_.domain_size(var))));
-  return change;
+  change->Set(var,
+              static_cast<uint32_t>(rng.UniformInt(model_.domain_size(var))));
 }
 
 }  // namespace infer

@@ -28,8 +28,9 @@ class SubsetUniformProposal final : public Proposal {
   SubsetUniformProposal(const factor::Model& model,
                         std::vector<factor::VarId> variables);
 
-  factor::Change Propose(const factor::World& world, Rng& rng,
-                         double* log_ratio) override;
+  using Proposal::Propose;
+  void Propose(const factor::World& world, Rng& rng, factor::Change* change,
+               double* log_ratio) override;
 
   size_t subset_size() const { return variables_.size(); }
 

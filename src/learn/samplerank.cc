@@ -25,12 +25,14 @@ SampleRankStats SampleRank::Train(factor::World* world, uint64_t steps) {
   SampleRankStats stats;
   factor::SparseVector delta_features;
   // A jump's feature delta is a few entries per touched factor; one
-  // up-front reservation keeps the reused vector allocation-free.
+  // up-front reservation keeps the reused vector allocation-free. The
+  // Change buffer is likewise reused across all training steps.
   delta_features.Reserve(64);
+  factor::Change change;
   for (uint64_t i = 0; i < steps; ++i) {
     ++stats.proposals;
     double log_ratio = 0.0;
-    const factor::Change change = proposal_->Propose(*world, rng_, &log_ratio);
+    proposal_->Propose(*world, rng_, &change, &log_ratio);
     if (change.empty()) continue;
 
     const double objective_delta = objective_->Delta(*world, change);

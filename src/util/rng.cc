@@ -15,49 +15,12 @@ uint64_t SplitMix64(uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 void Rng::Seed(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(sm);
   has_cached_gaussian_ = false;
-}
-
-uint64_t Rng::Next() {
-  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
-  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
-  const uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::Uniform() {
-  // 53-bit mantissa in [0, 1).
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-}
-
-uint64_t Rng::UniformInt(uint64_t n) {
-  FGPDB_CHECK_GT(n, 0u);
-  // Lemire's multiply-shift rejection method.
-  uint64_t x = Next();
-  __uint128_t m = static_cast<__uint128_t>(x) * n;
-  uint64_t low = static_cast<uint64_t>(m);
-  if (low < n) {
-    uint64_t threshold = (0 - n) % n;
-    while (low < threshold) {
-      x = Next();
-      m = static_cast<__uint128_t>(x) * n;
-      low = static_cast<uint64_t>(m);
-    }
-  }
-  return static_cast<uint64_t>(m >> 64);
 }
 
 double Rng::Gaussian() {

@@ -23,18 +23,52 @@ class Rng {
   /// Re-seeds the generator deterministically from `seed`.
   void Seed(uint64_t seed);
 
+  // Next/Uniform/UniformInt are the MH step kernel's inner draws (two to
+  // three per proposal); defined in the header so they inline into the hot
+  // loop instead of paying a cross-TU call each. Same arithmetic as always
+  // — streams are bitwise-unchanged.
+
   /// Returns the next raw 64-bit output.
-  uint64_t Next();
+  uint64_t Next() {
+    // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double Uniform();
+  double Uniform() {
+    // 53-bit mantissa in [0, 1).
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
 
   /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
   /// rejection method.
-  uint64_t UniformInt(uint64_t n);
+  uint64_t UniformInt(uint64_t n) {
+    FGPDB_CHECK_GT(n, 0u);
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < n) {
+      uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   int64_t UniformInt(int64_t lo, int64_t hi) {
@@ -75,6 +109,8 @@ class Rng {
   Rng Fork();
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;

@@ -4,6 +4,7 @@
 // scratch-reuse protocol changes no results.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -12,10 +13,14 @@
 #include "ie/entity_resolution.h"
 #include "ie/ner_features.h"
 #include "ie/ner_proposal.h"
+#include "ie/queries.h"
 #include "ie/skip_chain_model.h"
 #include "ie/token_pdb.h"
+#include "infer/metropolis_hastings.h"
 #include "learn/objective.h"
 #include "learn/samplerank.h"
+#include "pdb/shared_chain.h"
+#include "sql/binder.h"
 #include "util/rng.h"
 
 namespace fgpdb {
@@ -195,6 +200,186 @@ TEST(CompiledScoringTest, EntityResolutionDeltaMatchesGlobalDifference) {
     factor::World applied = world;
     applied.Apply(change);
     ASSERT_NEAR(local, model.LogScore(applied) - model.LogScore(world), 1e-9);
+  }
+}
+
+// The vectorized Gibbs-conditional fast path: ConditionalRow must fill
+// every candidate lane with the exact bits the per-candidate single-flip
+// delta computes, across ≥1k randomized sites, and the no-move lane must
+// be a clean zero (out[old] == +0.0, the candidate path's hard zero).
+TEST(CompiledScoringTest, ConditionalRowMatchesPerCandidateBitwise) {
+  CompiledVsNaive fixture(1200, 83);
+  Rng rng(909);
+  auto scratch = fixture.compiled->MakeScratch();
+  double row[kNumLabels];
+  // The uncompiled reference model offers no fast path: callers must fall
+  // back to per-candidate scoring.
+  EXPECT_FALSE(fixture.naive->ConditionalRow(fixture.world, 0, row, nullptr));
+
+  size_t sites = 0;
+  for (int round = 0; round < 2; ++round) {
+    fixture.ShuffleWorld(rng);
+    for (size_t v = 0; v < fixture.tokens.num_tokens(); ++v) {
+      const auto var = static_cast<factor::VarId>(v);
+      ASSERT_TRUE(fixture.compiled->ConditionalRow(fixture.world, var, row,
+                                                   scratch.get()));
+      const uint32_t old_label = fixture.world.Get(var);
+      ASSERT_EQ(row[old_label], 0.0) << "site " << v;
+      ASSERT_FALSE(std::signbit(row[old_label])) << "site " << v;
+      factor::Change change;
+      for (uint32_t y = 0; y < kNumLabels; ++y) {
+        if (y == old_label) continue;
+        change.Clear();
+        change.Set(var, y);
+        // Bitwise against both the compiled per-candidate path (the lane's
+        // summation-order contract) and the naive Parameters::Get path.
+        ASSERT_EQ(row[y], fixture.compiled->LogScoreDelta(fixture.world,
+                                                          change))
+            << "site " << v << " label " << y;
+        ASSERT_EQ(row[y], fixture.naive->LogScoreDelta(fixture.world, change))
+            << "site " << v << " label " << y;
+      }
+      ++sites;
+    }
+  }
+  EXPECT_GE(sites, 1000u);
+}
+
+// Same contract for the entity-resolution model's scatter-based rows.
+TEST(CompiledScoringTest, EntityResolutionConditionalRowMatchesPerCandidate) {
+  const std::vector<std::string> mentions = {
+      "John Smith", "J. Smith",  "Smith",     "Acme Corp", "ACME",
+      "Acme Inc",   "Boston",    "Boston MA", "J Smith",   "Acme"};
+  EntityResolutionModel model(mentions);
+  const size_t n = mentions.size();
+  factor::World world(n);
+  Rng rng(4242);
+  std::vector<double> row(n);
+  factor::Change change;
+  for (int round = 0; round < 150; ++round) {
+    for (size_t v = 0; v < n; ++v) {
+      world.Set(static_cast<factor::VarId>(v),
+                static_cast<uint32_t>(rng.UniformInt(n)));
+    }
+    for (size_t v = 0; v < n; ++v) {
+      const auto var = static_cast<factor::VarId>(v);
+      ASSERT_TRUE(model.ConditionalRow(world, var, row.data(), nullptr));
+      const uint32_t cur = world.Get(var);
+      ASSERT_EQ(row[cur], 0.0);
+      for (uint32_t c = 0; c < n; ++c) {
+        if (c == cur) continue;
+        change.Clear();
+        change.Set(var, c);
+        ASSERT_EQ(row[c], model.LogScoreDelta(world, change))
+            << "round " << round << " var " << v << " cluster " << c;
+      }
+    }
+  }
+}
+
+// The batched kernel's seed-schedule contract: Step(n) must land on the
+// same world as n single Steps at the same seed, accept the same count,
+// and show listeners the same applied stream in the same order — both at
+// the default flush interval and at the per-step (limit=1) ablation.
+TEST(CompiledScoringTest, BatchedStepMatchesSingleStepsBitwise) {
+  CompiledVsNaive fixture(600, 31);
+  const size_t kSteps = 6000;
+  const uint64_t kSeed = 123;
+
+  struct Runner {
+    factor::World world;
+    DocumentBatchProposal proposal;
+    infer::MetropolisHastings sampler;
+    std::vector<factor::AppliedAssignment> stream;
+
+    Runner(const CompiledVsNaive& f, uint64_t seed)
+        : world(f.tokens.num_tokens()),
+          proposal(&f.tokens.docs, {.proposals_per_batch = 250}),
+          sampler(*f.compiled, &world, &proposal, seed) {
+      sampler.AddListener([this](
+          const std::vector<factor::AppliedAssignment>& applied) {
+        stream.insert(stream.end(), applied.begin(), applied.end());
+      });
+    }
+  };
+
+  Runner single(fixture, kSeed);
+  Runner batched(fixture, kSeed);
+  Runner per_step(fixture, kSeed);
+  per_step.sampler.set_mirror_batch_limit(1);
+
+  size_t accepted_single = 0;
+  for (size_t i = 0; i < kSteps; ++i) {
+    if (single.sampler.Step()) ++accepted_single;
+  }
+  const size_t accepted_batched = batched.sampler.Step(kSteps);
+  const size_t accepted_per_step = per_step.sampler.Step(kSteps);
+
+  EXPECT_EQ(accepted_single, accepted_batched);
+  EXPECT_EQ(accepted_single, accepted_per_step);
+  EXPECT_EQ(single.sampler.num_accepted(), batched.sampler.num_accepted());
+  for (size_t v = 0; v < single.world.size(); ++v) {
+    const auto var = static_cast<factor::VarId>(v);
+    ASSERT_EQ(single.world.Get(var), batched.world.Get(var)) << "var " << v;
+    ASSERT_EQ(single.world.Get(var), per_step.world.Get(var)) << "var " << v;
+  }
+  ASSERT_EQ(single.stream.size(), batched.stream.size());
+  ASSERT_EQ(single.stream.size(), per_step.stream.size());
+  for (size_t i = 0; i < single.stream.size(); ++i) {
+    ASSERT_EQ(single.stream[i].var, batched.stream[i].var) << "record " << i;
+    ASSERT_EQ(single.stream[i].old_value, batched.stream[i].old_value);
+    ASSERT_EQ(single.stream[i].new_value, batched.stream[i].new_value);
+    ASSERT_EQ(single.stream[i].var, per_step.stream[i].var) << "record " << i;
+    ASSERT_EQ(single.stream[i].old_value, per_step.stream[i].old_value);
+    ASSERT_EQ(single.stream[i].new_value, per_step.stream[i].new_value);
+  }
+}
+
+// End-to-end across the mirror boundary: Queries 1–4 evaluated on one
+// shared chain must answer bitwise-identically whether the accepted-jump
+// stream crosses into the DB mirror once per batch (default) or once per
+// accepted step (mirror_batch_limit = 1, the unbatched ablation).
+TEST(CompiledScoringTest, SharedChainBatchedMirrorMatchesPerStepOnQueries) {
+  CompiledVsNaive fixture(400, 61);
+  fixture.tokens.pdb->set_model(fixture.compiled.get());
+  auto clone = fixture.tokens.pdb->Clone();
+  const pdb::EvaluatorOptions options{
+      .steps_per_sample = 300, .burn_in = 600, .seed = 2026};
+  const std::vector<const char*> queries = {kQuery1, kQuery2, kQuery3,
+                                            kQuery4};
+
+  DocumentBatchProposal batched_proposal(&fixture.tokens.docs,
+                                         {.proposals_per_batch = 300});
+  DocumentBatchProposal per_step_proposal(&fixture.tokens.docs,
+                                          {.proposals_per_batch = 300});
+  pdb::SharedChainEvaluator batched(fixture.tokens.pdb.get(),
+                                    &batched_proposal, options);
+  pdb::SharedChainEvaluator per_step(clone.get(), &per_step_proposal, options);
+  per_step.sampler().set_mirror_batch_limit(1);
+
+  std::vector<ra::PlanPtr> plans;
+  for (const char* query : queries) {
+    plans.push_back(sql::PlanQuery(query, fixture.tokens.pdb->db()));
+    batched.AddQuery(plans.back().get());
+    plans.push_back(sql::PlanQuery(query, clone->db()));
+    per_step.AddQuery(plans.back().get());
+  }
+  batched.Run(12);
+  per_step.Run(12);
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const pdb::QueryAnswer& a = batched.answer(q);
+    const pdb::QueryAnswer& b = per_step.answer(q);
+    EXPECT_EQ(a.num_samples(), b.num_samples()) << queries[q];
+    const auto a_sorted = a.Sorted();
+    const auto b_sorted = b.Sorted();
+    ASSERT_EQ(a_sorted.size(), b_sorted.size()) << queries[q];
+    for (size_t i = 0; i < a_sorted.size(); ++i) {
+      EXPECT_EQ(a_sorted[i].first, b_sorted[i].first) << queries[q];
+      EXPECT_EQ(a_sorted[i].second, b_sorted[i].second)
+          << queries[q] << " tuple " << a_sorted[i].first.ToString();
+    }
+    EXPECT_EQ(a.SquaredError(b), 0.0) << queries[q];
   }
 }
 

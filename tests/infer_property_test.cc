@@ -176,8 +176,9 @@ TEST(ProposalRatioTest, AsymmetricRatioPreservesStationaryDistribution) {
   class BiasedProposal final : public Proposal {
    public:
     explicit BiasedProposal(const factor::Model& model) : model_(model) {}
-    factor::Change Propose(const World& world, Rng& rng,
-                           double* log_ratio) override {
+    using Proposal::Propose;
+    void Propose(const World& world, Rng& rng, factor::Change* change,
+                 double* log_ratio) override {
       // Proposes value 1 with probability 0.8, value 0 with 0.2.
       const auto var =
           static_cast<VarId>(rng.UniformInt(model_.num_variables()));
@@ -185,9 +186,8 @@ TEST(ProposalRatioTest, AsymmetricRatioPreservesStationaryDistribution) {
       const uint32_t old_value = world.Get(var);
       const auto q = [](uint32_t v) { return v == 1 ? 0.8 : 0.2; };
       *log_ratio = std::log(q(old_value)) - std::log(q(value));
-      factor::Change change;
-      change.Set(var, value);
-      return change;
+      change->Clear();
+      change->Set(var, value);
     }
    private:
     const factor::Model& model_;

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fail CI when the MH step kernel regresses against BENCH_pr7.json.
+
+Usage: check_step_regression.py <benchmark_out.json> <BENCH_pr7.json>
+
+Compares each BM_MhStep/<n> real_time in the Google Benchmark JSON output
+against regression_gate.baseline[<n>] in the committed baseline file and
+fails (exit 1) when measured > baseline * max_regression_ratio * slack.
+
+The committed baseline was measured on the dev VM; CI runners are at least
+as fast, and the gate ratio is deliberately generous (default 1.25) so only
+genuine step-kernel regressions trip it. If a runner class is structurally
+slower, set STEP_BENCH_SLACK (a multiplier, e.g. 1.5) rather than loosening
+the committed ratio.
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        measured = json.load(f)
+    with open(sys.argv[2]) as f:
+        gate = json.load(f)["regression_gate"]
+
+    baseline = gate["baseline"]
+    limit_ratio = float(gate["max_regression_ratio"])
+    slack = float(os.environ.get("STEP_BENCH_SLACK", "1.0"))
+
+    failures = []
+    checked = 0
+    for bench in measured.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith("BM_MhStep/"):
+            continue
+        size = name.split("/")[1]
+        if size not in baseline:
+            continue
+        checked += 1
+        ns = float(bench["real_time"])
+        limit = baseline[size] * limit_ratio * slack
+        status = "OK" if ns <= limit else "REGRESSION"
+        print(f"{name}: {ns:.1f} ns (baseline {baseline[size]:.1f}, "
+              f"limit {limit:.1f}) {status}")
+        if ns > limit:
+            failures.append(name)
+
+    if checked == 0:
+        print("error: no BM_MhStep results found in benchmark output")
+        return 1
+    if failures:
+        print(f"step kernel regressed: {', '.join(failures)}")
+        return 1
+    print(f"step kernel within budget ({checked} sizes checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
