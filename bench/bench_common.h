@@ -20,6 +20,7 @@
 #include "ie/token_pdb.h"
 #include "pdb/query_evaluator.h"
 #include "sql/binder.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace fgpdb {
@@ -51,15 +52,10 @@ inline uint64_t MasterSeed(int argc, char** argv, uint64_t fallback = 2004) {
   return fallback;
 }
 
-/// Deterministically derives the seed for logical stream `stream` of
-/// `master` (SplitMix64 finalizer over master ⊕ stream). Distinct streams
-/// yield decorrelated generator states even for adjacent stream indices.
-inline uint64_t DeriveSeed(uint64_t master, uint64_t stream) {
-  uint64_t z = master + 0x9e3779b97f4a7c15ULL * (stream + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
+// Stream-seed derivation lives in util/rng.h (fgpdb::DeriveSeed): one
+// definition of the math for benches and the sharded/parallel execution
+// layers alike, so printed master seeds reproduce everything. Unqualified
+// DeriveSeed in benches resolves to it through the enclosing namespace.
 
 /// Bench-binary preamble: resolves the master seed, prints the one line a
 /// run is reproducible from, and strips `--seed=N` out of argv (Google

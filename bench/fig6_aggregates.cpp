@@ -14,29 +14,35 @@
 using namespace fgpdb;
 using namespace fgpdb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const uint64_t master = InitBenchSeed(&argc, argv, "fig6");
   const size_t n = static_cast<size_t>(100000 * BenchScale());
   const uint64_t k = std::max<uint64_t>(100, n / 1000);
   const uint64_t samples = 300;
 
   std::cout << "=== Figure 6: aggregate queries, loss over time ("
-            << HumanCount(static_cast<double>(n)) << " tuples) ===\n"
+            << HumanCount(static_cast<double>(n)) << " tuples, master seed "
+            << master << ") ===\n"
             << "Query 2: " << ie::kQuery2 << "\nQuery 3: " << ie::kQuery3
             << "\n\n";
-  NerBench bench(n);
+  NerBench bench(n, DeriveSeed(master, 0));
 
   struct Series {
     std::vector<double> seconds;
     std::vector<double> loss;
   };
-  auto run_query = [&](const char* query) {
-    const pdb::QueryAnswer truth = EstimateGroundTruth(bench, query, 1200, k);
+  // Two streams per query: its truth run and its measured chain.
+  auto run_query = [&](const char* query, uint64_t stream) {
+    const pdb::QueryAnswer truth =
+        EstimateGroundTruth(bench, query, 1200, k, DeriveSeed(master, stream));
     auto world = bench.tokens.pdb->Clone();
     ra::PlanPtr plan = sql::PlanQuery(query, world->db());
     auto proposal = bench.MakeProposal();
     pdb::MaterializedQueryEvaluator evaluator(
         world.get(), proposal.get(), plan.get(),
-        {.steps_per_sample = k, .burn_in = 0, .seed = 29});
+        {.steps_per_sample = k,
+         .burn_in = 0,
+         .seed = DeriveSeed(master, stream + 1)});
     Series series;
     Stopwatch timer;
     evaluator.Initialize();
@@ -48,9 +54,9 @@ int main() {
     return series;
   };
 
-  const Series q2 = run_query(ie::kQuery2);
+  const Series q2 = run_query(ie::kQuery2, 1);
   std::cerr << "[fig6] Query 2 done\n";
-  const Series q3 = run_query(ie::kQuery3);
+  const Series q3 = run_query(ie::kQuery3, 3);
   std::cerr << "[fig6] Query 3 done\n";
 
   const double norm2 = std::max(q2.loss.front(), 1e-12);

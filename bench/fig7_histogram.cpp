@@ -16,14 +16,15 @@
 using namespace fgpdb;
 using namespace fgpdb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const uint64_t master = InitBenchSeed(&argc, argv, "fig7");
   const size_t n = static_cast<size_t>(100000 * BenchScale());
   const uint64_t k = std::max<uint64_t>(100, n / 1000);
 
   std::cout << "=== Figure 7: distribution of Query 2 (person mention count) "
             << "over " << HumanCount(static_cast<double>(n))
-            << " tuples ===\n\n";
-  NerBench bench(n);
+            << " tuples (master seed " << master << ") ===\n\n";
+  NerBench bench(n, DeriveSeed(master, 0));
   auto world = bench.tokens.pdb->Clone();
   ra::PlanPtr plan = sql::PlanQuery(ie::kQuery2, world->db());
   auto proposal = bench.MakeProposal();
@@ -31,7 +32,7 @@ int main() {
       world.get(), proposal.get(), plan.get(),
       {.steps_per_sample = 10 * k,
        .burn_in = DefaultBurnIn(n),
-       .seed = 41});
+       .seed = DeriveSeed(master, 1)});
   evaluator.Run(2000);
 
   // The answer: one tuple per observed count value, with probability —

@@ -14,14 +14,16 @@
 using namespace fgpdb;
 using namespace fgpdb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const uint64_t master = InitBenchSeed(&argc, argv, "fig8");
   const size_t n = static_cast<size_t>(50000 * BenchScale());
   const uint64_t k = std::max<uint64_t>(100, n / 1000);
 
   std::cout << "=== Figure 8: Query 4 tuple probabilities ("
-            << HumanCount(static_cast<double>(n)) << " tuples) ===\n"
+            << HumanCount(static_cast<double>(n)) << " tuples, master seed "
+            << master << ") ===\n"
             << "query: " << ie::kQuery4 << "\n\n";
-  NerBench bench(n);
+  NerBench bench(n, DeriveSeed(master, 0));
   auto world = bench.tokens.pdb->Clone();
   ra::PlanPtr plan = sql::PlanQuery(ie::kQuery4, world->db());
   auto proposal = bench.MakeProposal();
@@ -29,7 +31,7 @@ int main() {
       world.get(), proposal.get(), plan.get(),
       {.steps_per_sample = 10 * k,
        .burn_in = DefaultBurnIn(n),
-       .seed = 43});
+       .seed = DeriveSeed(master, 1)});
   evaluator.Run(1500);
 
   auto answer = evaluator.answer().Sorted();
@@ -67,7 +69,9 @@ int main() {
   auto proposal2 = bench.MakeProposal();
   pdb::MaterializedQueryEvaluator evaluator2(
       world2.get(), proposal2.get(), plan2.get(),
-      {.steps_per_sample = 10 * k, .burn_in = DefaultBurnIn(n), .seed = 47});
+      {.steps_per_sample = 10 * k,
+       .burn_in = DefaultBurnIn(n),
+       .seed = DeriveSeed(master, 2)});
   evaluator2.Run(1500);
   auto per_doc = evaluator2.answer().Sorted();
   std::sort(per_doc.begin(), per_doc.end(),

@@ -48,8 +48,13 @@ std::string Session::NormalizeSql(const std::string& sql) {
 
 std::unique_ptr<Session> Session::Open(SessionOptions options) {
   FGPDB_CHECK(options.database != nullptr) << "SessionOptions.database is required";
-  FGPDB_CHECK(options.proposal_factory != nullptr)
-      << "SessionOptions.proposal_factory is required";
+  FGPDB_CHECK(options.proposal_factory != nullptr ||
+              options.shard_plan.has_plan())
+      << "SessionOptions.proposal_factory is required (or set shard_plan)";
+  FGPDB_CHECK(options.policy.num_shards <= 1 || options.shard_plan.has_plan())
+      << "ExecutionPolicy requests shards but SessionOptions.shard_plan is "
+         "unset (build one with ie::BuildDocumentShardPlan or "
+         "pdb::BuildShardPlan)";
   return std::unique_ptr<Session>(new Session(std::move(options)));
 }
 
@@ -72,10 +77,19 @@ Session::Session(SessionOptions options) : options_(std::move(options)) {
       policy.mode == ExecutionPolicy::Mode::kParallel ||
       (policy.mode == ExecutionPolicy::Mode::kUntil && policy.num_chains > 1);
   if (!multi_chain) {
-    proposal_ = options_.proposal_factory(*world_);
+    // With a shard plan the resident chain steps through shard-local
+    // sub-chains (a single-shard plan replays the serial chain bitwise);
+    // otherwise the classic one-proposal serial sampler.
+    const bool sharded = options_.shard_plan.has_plan();
+    if (!sharded) proposal_ = options_.proposal_factory(*world_);
     chain_ = std::make_unique<pdb::SharedChainEvaluator>(
         world_.get(), proposal_.get(), options_.evaluator,
         /*materialized=*/policy.mode != ExecutionPolicy::Mode::kNaive);
+    if (sharded) {
+      chain_->EnableSharding(
+          options_.shard_plan,
+          pdb::ShardedExecution{policy.use_threads, policy.max_threads});
+    }
     if (policy.mode == ExecutionPolicy::Mode::kUntil) {
       chain_->EnableConvergenceTracking({.confidence = policy.confidence,
                                          .eps = policy.eps,
@@ -135,6 +149,9 @@ uint64_t Session::RunParallelRound(uint64_t samples_per_chain,
   parallel.use_threads = options_.policy.use_threads;
   parallel.max_threads = options_.policy.max_threads;
   parallel.track_chain_stats = track_stats;
+  if (options_.shard_plan.has_plan()) {
+    parallel.shard_plan = &options_.shard_plan;
+  }
   pdb::MultiQueryAnswer batch =
       pdb::EvaluateParallelMulti(*world_, plans, options_.proposal_factory,
                                  parallel,
@@ -227,7 +244,7 @@ QueryProgress Session::SnapshotSlot(size_t slot) const {
   if (chain_ != nullptr) {
     progress.answer = chain_->answer(slot);
     progress.steps_per_sample = chain_->steps_per_sample();
-    progress.acceptance_rate = chain_->sampler().acceptance_rate();
+    progress.acceptance_rate = chain_->acceptance_rate();
     if (until) {
       progress.converged = chain_->converged(slot);
       progress.max_half_width = chain_->MaxHalfWidth(slot);

@@ -60,6 +60,13 @@ struct ExecutionPolicy {
   /// (1 = single shared chain with batched-means errors, ≥2 = cross-chain
   /// errors with chain doubling). Threading fields apply to both.
   size_t num_chains = 4;
+  /// Intra-chain sharding (requires SessionOptions::shard_plan when > 1):
+  /// each logical chain is stepped by S shard-local sub-chains merged in
+  /// fixed shard order — one delta stream, one set of views, bitwise-
+  /// reproducible at a seed. Orthogonal to `num_chains` (replica chains):
+  /// composes with every mode, including Until. The plan's own shard count
+  /// is what actually runs (locality fallback may have clamped it to 1).
+  size_t num_shards = 1;
   bool use_threads = true;
   size_t max_threads = 0;
 
@@ -80,6 +87,18 @@ struct ExecutionPolicy {
   uint64_t min_samples = 64;
 
   static ExecutionPolicy Serial() { return {}; }
+  /// One logical chain stepped by `num_shards` shard-local chains running
+  /// concurrently (the tentpole of document-sharded inference): serial-mode
+  /// semantics — one world, one delta fan-out, one set of views — at
+  /// near-linear step throughput in the shard count. Requires a
+  /// SessionOptions::shard_plan (e.g. ie::BuildDocumentShardPlan); S = 1
+  /// and every locality fallback are bitwise-identical to Serial().
+  static ExecutionPolicy Sharded(size_t num_shards, size_t max_threads = 0) {
+    ExecutionPolicy p;
+    p.num_shards = num_shards;
+    p.max_threads = max_threads;
+    return p;
+  }
   static ExecutionPolicy Parallel(size_t num_chains, size_t max_threads = 0) {
     ExecutionPolicy p;
     p.mode = Mode::kParallel;
@@ -111,6 +130,16 @@ struct ExecutionPolicy {
     p.max_threads = max_threads;
     return p;
   }
+
+  /// Composition: the same policy with intra-chain sharding, e.g.
+  /// Parallel(4).WithShards(8) (4 replica chains, each stepped by 8 shard
+  /// chains) or Until(0.95, 0.01, 1).WithShards(8) (run-until-error-bound
+  /// on one sharded logical chain).
+  ExecutionPolicy WithShards(size_t num_shards) const {
+    ExecutionPolicy p = *this;
+    p.num_shards = num_shards;
+    return p;
+  }
 };
 
 struct SessionOptions {
@@ -123,9 +152,18 @@ struct SessionOptions {
   const factor::Model* model = nullptr;
 
   /// Produces a fresh proposal per chain (proposals hold chain-local
-  /// state). Required. Must be callable from worker threads under the
-  /// parallel policy.
+  /// state). Required unless `shard_plan` is set (the plan's per-shard
+  /// factory then supplies every proposal). Must be callable from worker
+  /// threads under the parallel policy.
   pdb::ProposalFactory proposal_factory = {};
+
+  /// Sharded execution plan (partition + per-shard proposal factory), e.g.
+  /// from ie::BuildDocumentShardPlan. When set, the session steps every
+  /// logical chain through the plan's shard chains — required when
+  /// policy.num_shards > 1, and used even at one shard (the single-shard
+  /// plan replays the serial chain bitwise). The plan's factory closures
+  /// are copied into the session, so the plan value need not outlive it.
+  pdb::ShardPlan shard_plan = {};
 
   /// Chain schedule: thinning k, burn-in, seed, adaptive thinning.
   pdb::EvaluatorOptions evaluator = {};
@@ -251,6 +289,13 @@ class Session {
 
   size_t num_registered() const { return registered_.size(); }
   const ExecutionPolicy& policy() const { return options_.policy; }
+
+  /// Shard chains stepping each logical chain: the shard plan's count
+  /// (after any locality fallback), or 1 when the session is unsharded.
+  size_t num_shards() const {
+    return options_.shard_plan.has_plan() ? options_.shard_plan.num_shards
+                                          : 1;
+  }
 
   /// Prepared-statement cache size (distinct normalized texts).
   size_t prepared_cache_size() const { return prepared_cache_.size(); }

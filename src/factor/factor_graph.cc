@@ -66,6 +66,20 @@ std::unique_ptr<ScoreScratch> FactorGraph::MakeScratch() const {
   return std::make_unique<Scratch>();
 }
 
+bool FactorGraph::FactorsRespectPartition(
+    const std::vector<uint32_t>& partition) const {
+  if (partition.size() != num_variables()) return false;
+  for (const auto& factor : factors_) {
+    const auto& vars = factor->variables();
+    if (vars.empty()) continue;
+    const uint32_t part = partition.at(vars.front());
+    for (const VarId v : vars) {
+      if (partition.at(v) != part) return false;
+    }
+  }
+  return true;
+}
+
 double FactorGraph::LogScore(const World& world) const {
   FGPDB_CHECK_EQ(world.size(), num_variables());
   std::vector<uint32_t> values;

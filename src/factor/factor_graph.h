@@ -50,6 +50,10 @@ class FactorGraph : public Model {
                        ScoreScratch* scratch) const override;
   std::unique_ptr<ScoreScratch> MakeScratch() const override;
   double LogScore(const World& world) const override;
+  /// Exact answer from the explicit factor list: true iff no factor's
+  /// argument set spans two parts of `partition`.
+  bool FactorsRespectPartition(
+      const std::vector<uint32_t>& partition) const override;
   size_t num_variables() const override { return domains_.size(); }
   size_t domain_size(VarId var) const override {
     return domains_.at(var)->size();

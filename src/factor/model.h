@@ -18,6 +18,7 @@
 #define FGPDB_FACTOR_MODEL_H_
 
 #include <memory>
+#include <vector>
 
 #include "factor/feature_vector.h"
 #include "factor/world.h"
@@ -77,6 +78,21 @@ class Model {
   /// Unnormalized log π(w) over the *entire* graph. Potentially expensive —
   /// used by exact inference, tests, and diagnostics, never by the sampler.
   virtual double LogScore(const World& world) const = 0;
+
+  /// Locality contract for sharded execution: returns true iff EVERY factor
+  /// of this model scores variables of a single part of `partition`
+  /// (partition[v] = part index of variable v; partition.size() must equal
+  /// num_variables()). When this holds, part-local MCMC chains are *exact* —
+  /// a change confined to one part has a score delta computable from that
+  /// part alone, so shard-local walks compose into one valid chain. Models
+  /// whose factors can cross arbitrary parts (e.g. pairwise coreference
+  /// affinities) keep the conservative default and force the sharded
+  /// executor to fall back to a single shard.
+  virtual bool FactorsRespectPartition(
+      const std::vector<uint32_t>& partition) const {
+    (void)partition;
+    return false;
+  }
 
   /// Number of hidden variables this model scores.
   virtual size_t num_variables() const = 0;

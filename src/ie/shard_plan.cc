@@ -1,0 +1,68 @@
+#include "ie/shard_plan.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace fgpdb {
+namespace ie {
+
+pdb::ShardPlan BuildDocumentShardPlan(const TokenPdb& tokens,
+                                      const factor::Model& model,
+                                      DocumentShardOptions options) {
+  const size_t num_docs = tokens.docs.size();
+  size_t num_shards =
+      std::min(std::max<size_t>(1, options.num_shards),
+               std::max<size_t>(1, num_docs));
+
+  std::vector<uint32_t> partition;
+  if (num_shards > 1) {
+    partition.assign(tokens.num_tokens(), 0);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t begin = s * num_docs / num_shards;
+      const size_t end = (s + 1) * num_docs / num_shards;
+      for (size_t d = begin; d < end; ++d) {
+        for (const factor::VarId v : tokens.docs[d]) {
+          partition[v] = static_cast<uint32_t>(s);
+        }
+      }
+    }
+    // The locality gate: a model whose factors can cross documents (or a
+    // partition that splits one) degrades to the exact single-shard plan
+    // instead of an approximate sharded one.
+    if (!model.FactorsRespectPartition(partition)) {
+      num_shards = 1;
+      partition.clear();
+    }
+  }
+
+  // Per-shard document lists, owned by the factory closure so the plan is
+  // self-contained (replica chains may invoke it long after this returns).
+  auto shard_docs = std::make_shared<
+      std::vector<std::vector<std::vector<factor::VarId>>>>(num_shards);
+  if (num_shards == 1) {
+    (*shard_docs)[0] = tokens.docs;
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t begin = s * num_docs / num_shards;
+      const size_t end = (s + 1) * num_docs / num_shards;
+      (*shard_docs)[s].assign(tokens.docs.begin() + begin,
+                              tokens.docs.begin() + end);
+    }
+  }
+
+  pdb::ShardPlan plan;
+  plan.num_shards = num_shards;
+  plan.partition = std::move(partition);
+  const NerProposalOptions proposal_options = options.proposal;
+  plan.make_proposal = [shard_docs, proposal_options](
+                           pdb::ProbabilisticDatabase&, size_t shard) {
+    return std::make_unique<DocumentBatchProposal>(&(*shard_docs)[shard],
+                                                   proposal_options);
+  };
+  return plan;
+}
+
+}  // namespace ie
+}  // namespace fgpdb

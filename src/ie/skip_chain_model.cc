@@ -308,6 +308,23 @@ std::unique_ptr<factor::ScoreScratch> SkipChainNerModel::MakeScratch() const {
   return std::make_unique<TouchedScratch>();
 }
 
+bool SkipChainNerModel::FactorsRespectPartition(
+    const std::vector<uint32_t>& partition) const {
+  if (partition.size() != num_variables()) return false;
+  for (VarId v = 0; v < partition.size(); ++v) {
+    if (options_.use_transitions && next_[v] != kNoVar &&
+        partition[next_[v]] != partition[v]) {
+      return false;
+    }
+    if (options_.use_skip_edges) {
+      for (const VarId partner : skip_partners_[v]) {
+        if (partition[partner] != partition[v]) return false;
+      }
+    }
+  }
+  return true;
+}
+
 double SkipChainNerModel::LogScore(const factor::World& world) const {
   const auto label = [&](VarId v) { return world.Get(v); };
   const size_t n = num_variables();

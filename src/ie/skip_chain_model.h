@@ -79,6 +79,13 @@ class SkipChainNerModel final : public factor::FeatureModel {
                       factor::ScoreScratch* scratch) const override;
   std::unique_ptr<factor::ScoreScratch> MakeScratch() const override;
   double LogScore(const factor::World& world) const override;
+  /// Locality for sharded execution: node factors are single-variable,
+  /// chain edges link sequence neighbors, and skip partners are
+  /// same-document by construction — so any partition that keeps each
+  /// document whole is certified exact. Checked against the instantiated
+  /// templates (next_ / skip_partners_), honoring the enabled factor types.
+  bool FactorsRespectPartition(
+      const std::vector<uint32_t>& partition) const override;
   size_t num_variables() const override { return string_ids_->size(); }
   size_t domain_size(factor::VarId) const override { return kNumLabels; }
 

@@ -37,15 +37,29 @@ ChainResult RunChain(const ProbabilisticDatabase& pdb,
                      const ParallelOptions& options, size_t chain_index,
                      uint64_t seed_salt) {
   std::unique_ptr<ProbabilisticDatabase> world = pdb.Snapshot();
-  std::unique_ptr<infer::Proposal> proposal = make_proposal(*world);
   EvaluatorOptions chain_options = options.chain_options;
   // Decorrelate chains: each gets its own seed stream, a function of the
   // chain index (and the caller's salt) alone so scheduling cannot change
   // results.
   chain_options.seed = options.chain_options.seed + seed_salt +
                        0x9e3779b97f4a7c15ULL * (chain_index + 1);
+  const bool sharded =
+      options.shard_plan != nullptr && options.shard_plan->has_plan();
+  std::unique_ptr<infer::Proposal> proposal;
+  if (!sharded) proposal = make_proposal(*world);
   SharedChainEvaluator evaluator(world.get(), proposal.get(), chain_options,
                                  options.materialized);
+  if (sharded) {
+    // Shard streams derive from the salted chain seed, so the B×S grid of
+    // RNG streams is a pure function of (base seed, salt, chain, shard).
+    // Inner stepping stays sequential when the chains are threaded — the
+    // outer pool already owns the cores, and the merge is order-fixed so
+    // threading never changes the answer anyway.
+    ShardedExecution exec;
+    exec.use_threads = options.use_threads && options.num_chains == 1;
+    exec.max_threads = options.max_threads;
+    evaluator.EnableSharding(*options.shard_plan, exec);
+  }
   for (const ra::PlanNode* plan : plans) evaluator.AddQuery(plan);
   evaluator.Run(options.samples_per_chain);
   ChainResult result;
@@ -53,8 +67,8 @@ ChainResult RunChain(const ProbabilisticDatabase& pdb,
   for (size_t q = 0; q < plans.size(); ++q) {
     result.answers.push_back(evaluator.answer(q));
   }
-  result.proposed = evaluator.sampler().num_proposed();
-  result.accepted = evaluator.sampler().num_accepted();
+  result.proposed = evaluator.num_proposed();
+  result.accepted = evaluator.num_accepted();
   return result;
 }
 

@@ -24,6 +24,7 @@
 
 #include "pdb/convergence_stats.h"
 #include "pdb/query_evaluator.h"
+#include "pdb/shard_plan.h"
 
 namespace fgpdb {
 namespace pdb {
@@ -45,6 +46,15 @@ struct ParallelOptions {
   /// eps) policy's stopping signal. Off by default: fixed-count callers
   /// should not pay for the per-tuple maps.
   bool track_chain_stats = false;
+  /// Optional intra-chain sharding: every replica chain steps S shard-local
+  /// sub-chains from the plan instead of one serial sampler (the factory in
+  /// the plan replaces `make_proposal`). Chain seeds salt exactly as in the
+  /// serial case, and each chain's shard streams derive from its salted
+  /// seed, so B×S composition is deterministic. Shard stepping inside a
+  /// chain runs sequentially whenever the chains themselves are threaded
+  /// (no nested pools); results are identical either way. Borrowed; must
+  /// outlive the evaluation.
+  const ShardPlan* shard_plan = nullptr;
 };
 
 /// Factory producing a fresh per-chain proposal (proposals hold chain-local

@@ -9,7 +9,7 @@ std::unique_ptr<infer::MetropolisHastings> ProbabilisticDatabase::MakeSampler(
                                                              proposal, seed);
   sampler->AddListener(
       [this](const std::vector<factor::AppliedAssignment>& applied) {
-        binding_.ApplyToDatabase(applied, db_.get(), &pending_rows_);
+        MirrorApplied(applied);
       });
   return sampler;
 }

@@ -54,6 +54,17 @@ class ProbabilisticDatabase {
   std::unique_ptr<infer::MetropolisHastings> MakeSampler(
       infer::Proposal* proposal, uint64_t seed);
 
+  /// Mirrors an already-applied assignment stream into the tables and the
+  /// delta accumulator — exactly what MakeSampler's listener does per
+  /// flush. The sharded executor uses this as its merge sink: shard-local
+  /// chains advance the world privately, then their buffered streams drain
+  /// through here in fixed shard order. Mirroring depends only on the
+  /// stream's content and order, so deferred (per-interval) mirroring is
+  /// bitwise-identical to the sampler's incremental (per-flush) mirroring.
+  void MirrorApplied(const std::vector<factor::AppliedAssignment>& applied) {
+    binding_.ApplyToDatabase(applied, db_.get(), &pending_rows_);
+  }
+
   /// Drains the deltas accumulated since the last TakeDeltas (the paper's
   /// auxiliary tables, consumed at each query evaluation) into `out` as
   /// per-base-table Δ−/Δ+ multisets. `out` is cleared first; its table

@@ -32,7 +32,40 @@ SharedChainEvaluator::SharedChainEvaluator(ProbabilisticDatabase* pdb,
       materialized_(materialized),
       steps_per_sample_(options.steps_per_sample) {
   FGPDB_CHECK(pdb_ != nullptr);
-  sampler_ = pdb_->MakeSampler(proposal, options_.seed);
+  // A null proposal defers chain construction to EnableSharding (which
+  // builds per-shard proposals from the plan's factory).
+  if (proposal != nullptr) sampler_ = pdb_->MakeSampler(proposal, options_.seed);
+}
+
+void SharedChainEvaluator::EnableSharding(const ShardPlan& plan,
+                                          ShardedExecution exec) {
+  FGPDB_CHECK(!initialized_) << "EnableSharding must precede Initialize()";
+  FGPDB_CHECK(sampler_ == nullptr)
+      << "construct with a nullptr proposal to enable sharding";
+  FGPDB_CHECK(runner_ == nullptr);
+  FGPDB_CHECK(plan.has_plan()) << "ShardPlan has no proposal factory";
+  FGPDB_CHECK_GT(plan.num_shards, 0u);
+  std::vector<std::unique_ptr<infer::Proposal>> proposals;
+  proposals.reserve(plan.num_shards);
+  for (size_t s = 0; s < plan.num_shards; ++s) {
+    proposals.push_back(plan.make_proposal(*pdb_, s));
+  }
+  runner_ = std::make_unique<infer::ShardRunner>(
+      pdb_->model(), &pdb_->world(), std::move(proposals), plan.partition,
+      infer::ShardRunnerOptions{options_.seed, exec.use_threads,
+                                exec.max_threads});
+}
+
+void SharedChainEvaluator::StepChain(size_t n) {
+  if (runner_ != nullptr) {
+    // Shard chains advance the world privately, then their buffered
+    // accepted-jump streams drain in shard order into the same mirror +
+    // accumulator path the serial sampler's listener feeds.
+    runner_->Step(n, [this](const std::vector<factor::AppliedAssignment>&
+                                applied) { pdb_->MirrorApplied(applied); });
+  } else {
+    sampler_->Run(n);
+  }
 }
 
 size_t SharedChainEvaluator::AddQuery(const ra::PlanNode* plan) {
@@ -61,7 +94,18 @@ size_t SharedChainEvaluator::AddQuery(const ra::PlanNode* plan) {
 
 void SharedChainEvaluator::Initialize() {
   FGPDB_CHECK(!initialized_);
-  sampler_->Run(options_.burn_in);
+  FGPDB_CHECK(sampler_ != nullptr || runner_ != nullptr)
+      << "construct with a proposal or call EnableSharding first";
+  if (runner_ != nullptr) {
+    // Detached burn-in: the world advances without buffering its ~40·n
+    // accepted jumps, then one full StoreWorld resynchronizes the tables.
+    // End state is identical to a mirrored burn-in + DiscardDeltas (the
+    // discarded deltas were never observable).
+    runner_->RunBurnIn(options_.burn_in);
+    pdb_->binding().StoreWorld(pdb_->world(), &pdb_->db());
+  } else {
+    sampler_->Run(options_.burn_in);
+  }
   pdb_->DiscardDeltas();
   if (materialized_) {
     // The one exhaustive query per view over the initial world (Alg. 1
@@ -150,7 +194,7 @@ uint64_t SharedChainEvaluator::RunUntilConverged(uint64_t max_samples) {
 void SharedChainEvaluator::DrawSample() {
   FGPDB_CHECK(initialized_);
   Stopwatch walk_timer;
-  sampler_->Run(steps_per_sample_);
+  StepChain(steps_per_sample_);
   const double walk_seconds = walk_timer.ElapsedSeconds();
 
   if (!materialized_) {

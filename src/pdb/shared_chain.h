@@ -22,8 +22,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "infer/shard_runner.h"
 #include "pdb/convergence_stats.h"
 #include "pdb/query_evaluator.h"
+#include "pdb/shard_plan.h"
+#include "util/logging.h"
 
 namespace fgpdb {
 namespace pdb {
@@ -32,8 +35,23 @@ class SharedChainEvaluator {
  public:
   /// `materialized` selects Alg. 1 (delta-maintained views, the default)
   /// or Alg. 3 (full query per sample) for every registered query.
+  /// `proposal` may be nullptr ONLY when EnableSharding() follows before
+  /// Initialize() — sharded chains build per-shard proposals from the plan.
   SharedChainEvaluator(ProbabilisticDatabase* pdb, infer::Proposal* proposal,
                        EvaluatorOptions options, bool materialized = true);
+
+  /// Switches the chain to sharded execution (call before Initialize(),
+  /// with a nullptr ctor proposal): S = plan.num_shards shard-local chains
+  /// advance this evaluator's world concurrently, each under its own RNG
+  /// stream derived from options.seed (S == 1: options.seed verbatim), and
+  /// each interval their accepted-jump buffers drain in fixed shard order
+  /// into the ONE delta fan-out — views, marginals, and convergence stats
+  /// see a single logical chain, bitwise-reproducible at a fixed seed
+  /// regardless of thread interleaving. A single-shard plan replays the
+  /// serial chain bitwise (same RNG stream, same assignment stream, and
+  /// the row-granular accumulator depends only on stream order — deferred
+  /// per-interval mirroring coalesces identically to per-flush mirroring).
+  void EnableSharding(const ShardPlan& plan, ShardedExecution exec = {});
 
   /// Registers a query; returns its slot index. Callable before or after
   /// Initialize(): a view registered mid-run is brought current against
@@ -94,8 +112,38 @@ class SharedChainEvaluator {
   /// The maintained view for `slot` (materialized mode only).
   const view::MaterializedView& materialized_view(size_t slot) const;
 
-  infer::MetropolisHastings& sampler() { return *sampler_; }
-  const infer::MetropolisHastings& sampler() const { return *sampler_; }
+  /// The serial sampler. Unavailable under sharding (the chain is S
+  /// samplers — use the counter accessors below, which cover both modes).
+  infer::MetropolisHastings& sampler() {
+    FGPDB_CHECK(sampler_ != nullptr) << "no serial sampler under sharding";
+    return *sampler_;
+  }
+  const infer::MetropolisHastings& sampler() const {
+    FGPDB_CHECK(sampler_ != nullptr) << "no serial sampler under sharding";
+    return *sampler_;
+  }
+
+  bool sharded() const { return runner_ != nullptr; }
+  size_t num_shards() const {
+    return runner_ != nullptr ? runner_->num_shards() : 1;
+  }
+
+  /// Proposal/acceptance counters of the logical chain: the serial
+  /// sampler's counters, or the order-independent sum over shard chains.
+  uint64_t num_proposed() const {
+    return runner_ != nullptr ? runner_->num_proposed()
+                              : sampler_->num_proposed();
+  }
+  uint64_t num_accepted() const {
+    return runner_ != nullptr ? runner_->num_accepted()
+                              : sampler_->num_accepted();
+  }
+  double acceptance_rate() const {
+    const uint64_t proposed = num_proposed();
+    return proposed == 0 ? 0.0
+                         : static_cast<double>(num_accepted()) /
+                               static_cast<double>(proposed);
+  }
 
   /// Current thinning interval (changes over time under adaptive mode).
   uint64_t steps_per_sample() const { return steps_per_sample_; }
@@ -138,11 +186,18 @@ class SharedChainEvaluator {
   static bool ViewTouched(const view::MaterializedView& view,
                           const view::DeltaSet& deltas);
 
+  /// Advances the logical chain `n` transitions: the serial sampler (which
+  /// mirrors per flush), or the shard runner followed by its fixed-order
+  /// merge into the database mirror + delta accumulator.
+  void StepChain(size_t n);
+
   ProbabilisticDatabase* pdb_;
   EvaluatorOptions options_;
   const bool materialized_;
   std::vector<Slot> slots_;
   std::unique_ptr<infer::MetropolisHastings> sampler_;
+  /// Sharded execution (EnableSharding); null on the serial path.
+  std::unique_ptr<infer::ShardRunner> runner_;
   uint64_t steps_per_sample_;
   // Reused every interval: TakeDeltas recycles its table buckets.
   view::DeltaSet delta_buf_;

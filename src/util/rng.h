@@ -16,6 +16,21 @@
 
 namespace fgpdb {
 
+/// Deterministically derives the seed for logical stream `stream` of a
+/// master seed (SplitMix64 finalizer over master ⊕ stream). Distinct
+/// streams yield decorrelated generator states even for adjacent stream
+/// indices — this is how every fan-out in the system (parallel replica
+/// chains, per-shard chains, bench sub-streams) gets an independent RNG
+/// stream that is a pure function of (master, stream), never of thread
+/// scheduling. bench_common.h's DeriveSeed delegates here; the math must
+/// never change or committed bench baselines stop reproducing.
+inline uint64_t DeriveSeed(uint64_t master, uint64_t stream) {
+  uint64_t z = master + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0xfeedc0ffee123456ULL) { Seed(seed); }

@@ -1,17 +1,35 @@
 #!/usr/bin/env python3
-"""Fail CI when the MH step kernel regresses against BENCH_pr7.json.
+"""Fail CI when the MH step kernel or sharded step throughput regresses.
 
-Usage: check_step_regression.py <benchmark_out.json> <BENCH_pr7.json>
+Legacy (PR 7) step-kernel mode:
+
+    check_step_regression.py <benchmark_out.json> <BENCH_pr7.json>
 
 Compares each BM_MhStep/<n> real_time in the Google Benchmark JSON output
 against regression_gate.baseline[<n>] in the committed baseline file and
 fails (exit 1) when measured > baseline * max_regression_ratio * slack.
 
-The committed baseline was measured on the dev VM; CI runners are at least
-as fast, and the gate ratio is deliberately generous (default 1.25) so only
-genuine step-kernel regressions trip it. If a runner class is structurally
-slower, set STEP_BENCH_SLACK (a multiplier, e.g. 1.5) rather than loosening
-the committed ratio.
+Sharded-throughput (PR 8) mode:
+
+    check_step_regression.py --sharded <sweep_out.json> <BENCH_pr8.json>
+
+Compares steps_per_sec per shard count in a fresh fig4a shard-sweep JSON
+(bench_fig4a_scalability --sweep_only --shard_json=...) against the
+committed baseline's results and fails when
+
+    measured_steps_per_sec < baseline_steps_per_sec / (ratio * slack)
+
+for any shard count present in BOTH files (the smoke sweep may cover a
+subset of the committed shard counts). Corpus sizes need not match — the
+per-step cost is size-independent (the §3.4 claim the PR 7 gate pins), so
+steps/sec comparisons transfer; the committed sweep_steps/num_tokens are
+printed for transparency.
+
+The committed baselines were measured on the dev VM; CI runners are at
+least as fast, and the gate ratio is deliberately generous (default 1.25)
+so only genuine regressions trip it. If a runner class is structurally
+slower, set STEP_BENCH_SLACK (a multiplier, e.g. 1.5) rather than
+loosening the committed ratio.
 """
 
 import json
@@ -19,13 +37,10 @@ import os
 import sys
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__)
-        return 2
-    with open(sys.argv[1]) as f:
+def check_step_kernel(measured_path: str, baseline_path: str) -> int:
+    with open(measured_path) as f:
         measured = json.load(f)
-    with open(sys.argv[2]) as f:
+    with open(baseline_path) as f:
         gate = json.load(f)["regression_gate"]
 
     baseline = gate["baseline"]
@@ -58,6 +73,59 @@ def main() -> int:
         return 1
     print(f"step kernel within budget ({checked} sizes checked)")
     return 0
+
+
+def check_sharded(measured_path: str, baseline_path: str) -> int:
+    with open(measured_path) as f:
+        measured = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    limit_ratio = float(baseline.get("max_regression_ratio", 1.25))
+    slack = float(os.environ.get("STEP_BENCH_SLACK", "1.0"))
+    base_by_shards = {
+        int(row["shards"]): float(row["steps_per_sec"])
+        for row in baseline.get("results", [])
+    }
+    print(f"baseline: {baseline.get('num_tokens', '?')} tokens, "
+          f"{baseline.get('sweep_steps', '?')} steps/row, "
+          f"{baseline.get('hardware', {}).get('cores', '?')} cores, "
+          f"ratio {limit_ratio} x slack {slack}")
+
+    failures = []
+    checked = 0
+    for row in measured.get("results", []):
+        shards = int(row["shards"])
+        if shards not in base_by_shards:
+            continue
+        checked += 1
+        got = float(row["steps_per_sec"])
+        floor = base_by_shards[shards] / (limit_ratio * slack)
+        status = "OK" if got >= floor else "REGRESSION"
+        print(f"shards={shards}: {got:,.0f} steps/s "
+              f"(baseline {base_by_shards[shards]:,.0f}, floor {floor:,.0f}) "
+              f"{status}")
+        if got < floor:
+            failures.append(f"shards={shards}")
+
+    if checked == 0:
+        print("error: no overlapping shard counts between sweep and baseline")
+        return 1
+    if failures:
+        print(f"sharded step throughput regressed: {', '.join(failures)}")
+        return 1
+    print(f"sharded throughput within budget ({checked} shard counts checked)")
+    return 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if len(args) == 3 and args[0] == "--sharded":
+        return check_sharded(args[1], args[2])
+    if len(args) == 2:
+        return check_step_kernel(args[0], args[1])
+    print(__doc__)
+    return 2
 
 
 if __name__ == "__main__":
