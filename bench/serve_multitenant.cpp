@@ -1,0 +1,220 @@
+// Open-loop many-tenant serving bench (the acceptance bench for the serve
+// layer): N tenants over one serve::Server, each submitting sampling work
+// and polling mid-run snapshots on its own schedule, regardless of how far
+// the scheduler has gotten — the open-loop discipline that exposes queueing
+// tails closed-loop benches hide. Every Overloaded rejection is retried
+// until admitted, so the run completes with ZERO rejected-then-lost
+// queries; client-side snapshot latency lands in a util::LatencyHistogram
+// and the JSON report carries queries/sec, p50/p95/p99, the server's
+// scheduler counters, and the cross-session plan-cache hit rate (tenants
+// draw from the paper's four-query pool, so all but the first four
+// registrations should hit).
+//
+//   ./bench/bench_serve_multitenant [--tenants=16] [--rounds=32]
+//       [--samples=32] [--json=FILE] [--seed=N]   (honors FGPDB_BENCH_SCALE)
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/server.h"
+#include "util/latency_histogram.h"
+
+using namespace fgpdb;
+using namespace fgpdb::bench;
+
+namespace {
+
+uint64_t FlagU64(int argc, char** argv, const char* name, uint64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+std::string FlagStr(int argc, char** argv, const char* name,
+                    const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t master = InitBenchSeed(&argc, argv, "serve_multitenant");
+  const size_t num_tenants =
+      static_cast<size_t>(FlagU64(argc, argv, "tenants", 16));
+  const uint64_t rounds = FlagU64(argc, argv, "rounds", 32);
+  const uint64_t samples_per_submit = FlagU64(argc, argv, "samples", 32);
+  const std::string json_path = FlagStr(argc, argv, "json", "");
+  const size_t num_tokens = static_cast<size_t>(4000 * BenchScale());
+
+  NerBench bench(num_tokens, DeriveSeed(master, 0));
+  const std::vector<const char*> query_pool = {ie::kQuery1, ie::kQuery2,
+                                               ie::kQuery3, ie::kQuery4};
+
+  serve::ServerOptions options;
+  options.database = bench.tokens.pdb.get();
+  options.proposal_factory =
+      [&bench](pdb::ProbabilisticDatabase&) -> std::unique_ptr<infer::Proposal> {
+    return bench.MakeProposal();
+  };
+  // A serving chain, not an accuracy run: short thinning and burn-in keep
+  // quanta cheap so the bench measures scheduling, not mixing.
+  options.evaluator = {};
+  options.evaluator.steps_per_sample = 200;
+  options.evaluator.burn_in = 1000;
+  // A deliberately tight admission cap so the open-loop schedule actually
+  // drives tenants into Overloaded and the retry path gets measured.
+  options.max_outstanding_samples = 4 * samples_per_submit;
+  options.quantum_samples = 16;
+  serve::Server server(options);
+
+  std::printf("# serve_multitenant: %zu tokens, %zu tenants, %llu rounds x "
+              "%llu samples, cap=%llu, quantum=%llu\n",
+              num_tokens, num_tenants,
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(samples_per_submit),
+              static_cast<unsigned long long>(options.max_outstanding_samples),
+              static_cast<unsigned long long>(options.quantum_samples));
+
+  // --- Setup: one tenant per client, decorrelated seeds, queries drawn
+  // round-robin from the paper's four-query pool (the plan-cache workload).
+  std::vector<serve::TenantId> tenants(num_tenants, 0);
+  for (size_t t = 0; t < num_tenants; ++t) {
+    serve::TenantOptions tenant_options;
+    tenant_options.has_evaluator = true;
+    tenant_options.evaluator = options.evaluator;
+    tenant_options.evaluator.seed = DeriveSeed(master, 100 + t);
+    serve::Status status = server.CreateTenant(&tenants[t], tenant_options);
+    FGPDB_CHECK(status.ok()) << status.message;
+    serve::QueryId query = 0;
+    status = server.RegisterQuery(tenants[t], query_pool[t % query_pool.size()],
+                                  &query);
+    FGPDB_CHECK(status.ok()) << status.message;
+  }
+
+  // --- Open loop: every round, every tenant submits a fixed budget (retrying
+  // Overloaded until admitted — nothing is lost) and immediately polls a
+  // mid-run snapshot, client-timed. The scheduler drains concurrently.
+  LatencyHistogram snapshot_latency;
+  uint64_t retries = 0;
+  uint64_t lost = 0;
+  Stopwatch wall;
+  for (uint64_t round = 0; round < rounds; ++round) {
+    for (size_t t = 0; t < num_tenants; ++t) {
+      serve::Status status = server.Submit(tenants[t], samples_per_submit);
+      while (status.code == serve::StatusCode::kOverloaded) {
+        ++retries;
+        std::this_thread::yield();
+        status = server.Submit(tenants[t], samples_per_submit);
+      }
+      if (!status.ok()) ++lost;
+
+      Stopwatch timer;
+      api::QueryProgress progress;
+      status = server.Snapshot(tenants[t], 0, &progress);
+      if (!status.ok()) ++lost;
+      snapshot_latency.RecordSeconds(timer.ElapsedSeconds());
+    }
+  }
+  server.Drain();
+  const double seconds = wall.ElapsedSeconds();
+
+  // Post-drain check: every admitted sample was drawn or yielded.
+  uint64_t admitted_total = 0, drawn_total = 0, yielded_total = 0;
+  for (size_t t = 0; t < num_tenants; ++t) {
+    serve::TenantStats stats;
+    FGPDB_CHECK(server.GetTenantStats(tenants[t], &stats).ok());
+    admitted_total += stats.submitted;
+    drawn_total += stats.samples_drawn;
+    yielded_total += stats.yielded;
+    if (stats.pending != 0) ++lost;
+  }
+  if (drawn_total + yielded_total < admitted_total) {
+    lost += admitted_total - drawn_total - yielded_total;
+  }
+
+  const serve::SchedulerMetrics metrics = server.metrics();
+  const api::PlanCache::Stats cache = server.plan_cache_stats();
+  const uint64_t total_queries = rounds * num_tenants;
+  const double qps = total_queries / seconds;
+
+  std::printf("queries            %llu (%.0f/s)\n",
+              static_cast<unsigned long long>(total_queries), qps);
+  std::printf("snapshot latency   p50=%.0fns p95=%.0fns p99=%.0fns max=%lluns\n",
+              snapshot_latency.P50Nanos(), snapshot_latency.P95Nanos(),
+              snapshot_latency.P99Nanos(),
+              static_cast<unsigned long long>(snapshot_latency.max_nanos()));
+  std::printf("overload retries   %llu (rejected submissions %llu)\n",
+              static_cast<unsigned long long>(retries),
+              static_cast<unsigned long long>(metrics.submissions_rejected));
+  std::printf("plan cache         %llu hits / %llu misses (rate %.3f)\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses), cache.HitRate());
+  std::printf("lost queries       %llu\n", static_cast<unsigned long long>(lost));
+
+  std::string json;
+  {
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"pr\": 9,\n"
+        "  \"bench\": \"serve_multitenant\",\n"
+        "  \"master_seed\": %llu,\n"
+        "  \"num_tokens\": %zu,\n"
+        "  \"tenants\": %zu,\n"
+        "  \"rounds\": %llu,\n"
+        "  \"samples_per_submit\": %llu,\n"
+        "  \"hardware\": {\"cores\": %u},\n"
+        "  \"max_regression_ratio\": 5.0,\n"
+        "  \"queries\": %llu,\n"
+        "  \"queries_per_sec\": %.1f,\n"
+        "  \"snapshot_latency_ns\": {\"p50\": %.0f, \"p95\": %.0f, "
+        "\"p99\": %.0f, \"max\": %llu, \"count\": %llu},\n"
+        "  \"server\": {\"quanta\": %llu, \"samples_drawn\": %llu, "
+        "\"converged_yields\": %llu, \"rejected\": %llu, \"retries\": %llu, "
+        "\"lost\": %llu},\n"
+        "  \"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"evictions\": %llu, \"hit_rate\": %.4f}\n"
+        "}\n",
+        static_cast<unsigned long long>(master), num_tokens, num_tenants,
+        static_cast<unsigned long long>(rounds),
+        static_cast<unsigned long long>(samples_per_submit),
+        static_cast<unsigned>(std::thread::hardware_concurrency()),
+        static_cast<unsigned long long>(total_queries), qps,
+        snapshot_latency.P50Nanos(), snapshot_latency.P95Nanos(),
+        snapshot_latency.P99Nanos(),
+        static_cast<unsigned long long>(snapshot_latency.max_nanos()),
+        static_cast<unsigned long long>(snapshot_latency.count()),
+        static_cast<unsigned long long>(metrics.quanta_executed),
+        static_cast<unsigned long long>(metrics.samples_drawn),
+        static_cast<unsigned long long>(metrics.converged_yields),
+        static_cast<unsigned long long>(metrics.submissions_rejected),
+        static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(lost),
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.evictions), cache.HitRate());
+    json = buf;
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json;
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("%s", json.c_str());
+  }
+  return lost == 0 ? 0 : 1;
+}

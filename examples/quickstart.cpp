@@ -1,22 +1,39 @@
 // Quickstart: build a probabilistic database over a small synthetic news
 // corpus, attach a skip-chain CRF, and answer the paper's Query 1 with
-// marginal probabilities through the Session front door (api::Session):
-// Open wires the MCMC chain, Register attaches the query as a maintained
-// view, Run samples, and the ResultHandle reads marginals.
+// marginal probabilities — as a CLIENT of the serve layer. The program
+// boots a serve::Server over the shared base world, then drives it through
+// the same newline-delimited wire protocol a remote client would speak
+// (serve/protocol.h): open a tenant, register the query, submit sampling
+// work, stream a mid-run snapshot while the chain keeps running, and read
+// the final answer after DRAIN.
 //
 //   ./examples/quickstart [num_tokens]
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
-#include "api/session.h"
 #include "ie/corpus.h"
 #include "ie/ner_proposal.h"
 #include "ie/queries.h"
 #include "ie/skip_chain_model.h"
 #include "ie/token_pdb.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "util/stopwatch.h"
 
 using namespace fgpdb;
+
+namespace {
+
+/// One protocol round-trip, echoed like a terminal session.
+std::string Send(serve::LineProtocol& protocol, const std::string& line) {
+  std::cout << "> " << line << "\n";
+  const serve::LineProtocol::Result result = protocol.HandleLine(line);
+  std::cout << result.response;
+  return result.response;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const size_t num_tokens = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
@@ -35,36 +52,39 @@ int main(int argc, char** argv) {
   tokens.pdb->set_model(&model);
   std::cout << "Model: " << model.num_skip_edges() << " skip edges\n";
 
-  // 3. Open a Session: it owns the sampler wiring (and samples its own
-  //    copy-on-write snapshot — `tokens.pdb` stays pristine).
-  auto session = api::Session::Open(
-      {.database = tokens.pdb.get(),
-       .proposal_factory =
-           [&tokens](pdb::ProbabilisticDatabase&) -> std::unique_ptr<infer::Proposal> {
-             return std::make_unique<ie::DocumentBatchProposal>(&tokens.docs);
-           },
-       .evaluator = {.steps_per_sample = 2000, .burn_in = 10000, .seed = 17}});
+  // 3. Start the server. It owns the tenant registry, the cross-session
+  //    plan cache, and the fair scheduler; every tenant Session samples its
+  //    own copy-on-write snapshot — `tokens.pdb` stays pristine.
+  serve::ServerOptions options;
+  options.database = tokens.pdb.get();
+  options.proposal_factory =
+      [&tokens](pdb::ProbabilisticDatabase&) -> std::unique_ptr<infer::Proposal> {
+    return std::make_unique<ie::DocumentBatchProposal>(&tokens.docs);
+  };
+  options.evaluator = {};
+  options.evaluator.steps_per_sample = 2000;
+  options.evaluator.burn_in = 10000;
+  options.evaluator.seed = 17;
+  serve::Server server(options);
+  serve::LineProtocol protocol(&server);
 
-  // 4. Register Query 1 as a materialized view on the session's chain and
-  //    sample. The default policy is serial (Alg. 1, delta-maintained).
-  std::cout << "Query: " << ie::kQuery1 << "\n";
-  api::ResultHandle query = session->Register(ie::kQuery1);
+  // 4. Speak the wire protocol: tenant, query, sampling budget. The first
+  //    tenant is id 1 and the first registered query is id 0.
   Stopwatch timer;
-  session->Run(/*samples=*/200);
-  api::QueryProgress progress = query.Snapshot();
-  std::cout << "Drew " << progress.samples << " samples (k="
-            << progress.steps_per_sample << ") in " << timer.ElapsedSeconds()
-            << "s; MH acceptance rate " << progress.acceptance_rate << "\n\n";
+  Send(protocol, "TENANT NEW SERIAL");
+  Send(protocol, std::string("QUERY 1 ") + ie::kQuery1);
+  Send(protocol, "RUN 1 200");
 
-  // 5. Report the marginal probability of each tuple being in the answer.
-  auto sorted = progress.answer.Sorted();
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
-  std::cout << "Top person-mention strings (tuple, Pr[t in answer]):\n";
-  for (size_t i = 0; i < sorted.size() && i < 10; ++i) {
-    std::cout << "  " << sorted[i].first.ToString() << "  "
-              << sorted[i].second << "\n";
-  }
-  std::cout << "(" << sorted.size() << " tuples total)\n";
+  // 5. Streaming read: SNAPSHOT answers from the live chain without
+  //    stopping it — this is what a dashboard polls mid-run.
+  Send(protocol, "SNAPSHOT 1 0 TOP 3");
+
+  // 6. Wait for the full budget, then read the final top-10 marginals
+  //    (tuple, Pr[t in answer]) and the server's scheduler counters.
+  Send(protocol, "DRAIN");
+  std::cout << "(drained in " << timer.ElapsedSeconds() << "s)\n";
+  Send(protocol, "SNAPSHOT 1 0 TOP 10");
+  Send(protocol, "STATS");
+  Send(protocol, "QUIT");
   return 0;
 }

@@ -1,0 +1,60 @@
+#include "api/plan_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace api {
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+  FGPDB_CHECK_GT(capacity, 0u) << "PlanCache capacity must be positive";
+}
+
+PreparedQueryPtr PlanCache::Lookup(const std::string& normalized_sql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(normalized_sql);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.prepared;
+}
+
+void PlanCache::Insert(const std::string& normalized_sql,
+                       PreparedQueryPtr prepared) {
+  FGPDB_CHECK(prepared != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(normalized_sql);
+  if (it != entries_.end()) {
+    // Concurrent preparers can race to insert the same text; keep the
+    // first plan (all are equivalent) and just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(normalized_sql);
+  entries_.emplace(normalized_sql,
+                   Entry{std::move(prepared), lru_.begin()});
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = entries_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace api
+}  // namespace fgpdb

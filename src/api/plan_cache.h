@@ -1,0 +1,80 @@
+// Cross-session prepared-plan cache (the serve layer's L2).
+//
+// Many tenants issuing the same queries against one server should bind and
+// plan each distinct text ONCE: serve::Server owns a PlanCache and hands it
+// to every tenant Session, whose per-instance prepared map becomes a
+// read-through L1 (Session::Prepare checks its own map, then this cache,
+// and only then parses/binds — inserting the result into both layers).
+//
+// Keys are sql::NormalizeForCache texts, so the two layers always agree on
+// query identity. Entries are immutable shared PreparedQuery instances;
+// plans reference base tables by NAME (ra::ScanNode), so a plan bound in
+// one session evaluates correctly in any session over the same catalog
+// shape — which holds for every session snapshotted from one server's base
+// database. Bounded LRU: Insert past capacity evicts the least recently
+// looked-up entry (sessions already holding the shared_ptr keep it alive;
+// eviction only forgets the cache's reference).
+//
+// Thread-safe: tenants prepare concurrently from scheduler threads.
+#ifndef FGPDB_API_PLAN_CACHE_H_
+#define FGPDB_API_PLAN_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/session.h"
+
+namespace fgpdb {
+namespace api {
+
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// `capacity` distinct normalized texts (at least 1).
+  explicit PlanCache(size_t capacity);
+
+  /// The cached plan for `normalized_sql` (bumped to most-recently-used),
+  /// or null. Counts one hit or miss.
+  PreparedQueryPtr Lookup(const std::string& normalized_sql);
+
+  /// Inserts (or refreshes) an entry, evicting the LRU entry when full.
+  void Insert(const std::string& normalized_sql, PreparedQueryPtr prepared);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    PreparedQueryPtr prepared;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  /// Front = most recently used; values are the map keys.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace api
+}  // namespace fgpdb
+
+#endif  // FGPDB_API_PLAN_CACHE_H_

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "api/plan_cache.h"
 #include "infer/convergence.h"
 #include "sql/binder.h"
-#include "sql/lexer.h"
+#include "sql/normalize.h"
 #include "util/logging.h"
 
 namespace fgpdb {
@@ -24,26 +25,7 @@ const PreparedQueryPtr& ResultHandle::query() const {
 // --- Session ----------------------------------------------------------------
 
 std::string Session::NormalizeSql(const std::string& sql) {
-  // Lexer-backed normalization: keywords come back uppercased, whitespace
-  // and comments between tokens vanish, and `!=` canonicalizes to `<>`.
-  // Identifier case and string literals are preserved verbatim, so two
-  // texts share a cache entry exactly when they tokenize identically.
-  std::string out;
-  for (const sql::Token& token : sql::Lex(sql)) {
-    if (token.type == sql::TokenType::kEnd) break;
-    if (!out.empty()) out += ' ';
-    if (token.type == sql::TokenType::kString) {
-      out += '\'';
-      for (const char c : token.text) {
-        out += c;
-        if (c == '\'') out += c;  // Re-escape embedded quotes.
-      }
-      out += '\'';
-    } else {
-      out += token.text;
-    }
-  }
-  return out;
+  return sql::NormalizeForCache(sql);
 }
 
 std::unique_ptr<Session> Session::Open(SessionOptions options) {
@@ -104,10 +86,22 @@ PreparedQueryPtr Session::Prepare(const std::string& sql) {
   const std::string normalized = NormalizeSql(sql);
   const auto it = prepared_cache_.find(normalized);
   if (it != prepared_cache_.end()) return it->second;
+  // L1 miss: read through the shared cross-session cache (if wired) before
+  // paying for parse + bind. Plans reference tables by name, so a plan
+  // bound by a sibling session over the same catalog shape is valid here.
+  if (options_.plan_cache != nullptr) {
+    if (PreparedQueryPtr shared = options_.plan_cache->Lookup(normalized)) {
+      prepared_cache_.emplace(normalized, shared);
+      return shared;
+    }
+  }
   ra::PlanPtr plan = sql::PlanQuery(sql, world_->db());
   PreparedQueryPtr prepared(
       new PreparedQuery(normalized, sql, std::move(plan)));
   prepared_cache_.emplace(normalized, prepared);
+  if (options_.plan_cache != nullptr) {
+    options_.plan_cache->Insert(normalized, prepared);
+  }
   return prepared;
 }
 
@@ -226,6 +220,52 @@ void Session::Run(uint64_t samples) {
                        /*track_stats=*/false);
       return;
   }
+}
+
+uint64_t Session::CurrentMultiSamples() const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  uint64_t total = 0;
+  for (const Registered& reg : registered_) {
+    total = std::max(total, reg.merged.num_samples());
+  }
+  return total;
+}
+
+uint64_t Session::RunQuantum(uint64_t max_samples) {
+  FGPDB_CHECK(!registered_.empty())
+      << "Register at least one query before RunQuantum()";
+  if (max_samples == 0) return 0;
+  const ExecutionPolicy& policy = options_.policy;
+  switch (policy.mode) {
+    case ExecutionPolicy::Mode::kSerial:
+    case ExecutionPolicy::Mode::kNaive:
+      return chain_->RunQuantum(max_samples);
+    case ExecutionPolicy::Mode::kUntil: {
+      if (chain_ != nullptr) return chain_->RunQuantum(max_samples);
+      // Multi-chain variant: one estimator round per quantum — the round
+      // length is the cross-chain SE's invariant, so the quantum cannot
+      // shorten it. An unconverged round climbs the escalation ladder,
+      // exactly as Run() does while its budget remains.
+      if (converged()) return 0;
+      const uint64_t before = CurrentMultiSamples();
+      const uint64_t after = RunParallelRound(policy.samples_per_round,
+                                              until_chains_,
+                                              /*track_stats=*/true);
+      if (!converged() && until_escalations_ < policy.max_escalations) {
+        std::lock_guard<std::mutex> lock(results_mu_);
+        until_chains_ *= 2;
+        ++until_escalations_;
+      }
+      return after - before;
+    }
+    case ExecutionPolicy::Mode::kParallel: {
+      const uint64_t before = CurrentMultiSamples();
+      const uint64_t after = RunParallelRound(max_samples, policy.num_chains,
+                                              /*track_stats=*/false);
+      return after - before;
+    }
+  }
+  return 0;
 }
 
 bool Session::converged() const {

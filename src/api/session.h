@@ -142,11 +142,20 @@ struct ExecutionPolicy {
   }
 };
 
+class PlanCache;
+
 struct SessionOptions {
   /// The base world: tables, bindings, and (unless `model` overrides it)
   /// the factor-graph model. Borrowed; must outlive the session. Never
   /// mutated — the session samples its own copy-on-write snapshot.
   pdb::ProbabilisticDatabase* database = nullptr;
+
+  /// Optional cross-session plan cache (api/plan_cache.h). Borrowed; must
+  /// outlive the session. When set, Prepare() reads through it: the
+  /// per-session map stays the L1, this cache the shared L2, and a query
+  /// planned by ANY session over the same catalog shape is reused instead
+  /// of re-bound. serve::Server wires one per server.
+  PlanCache* plan_cache = nullptr;
 
   /// Optional model override; defaults to the base database's model.
   const factor::Model* model = nullptr;
@@ -284,6 +293,19 @@ class Session {
   /// one round). Escalation state persists across Run() calls.
   void Run(uint64_t samples);
 
+  /// Scheduler entry point (the serve layer's quantum): advances the
+  /// session by AT MOST `max_samples` collected samples and returns the
+  /// count actually drawn this call. Resident-chain policies (serial,
+  /// naive, until at one chain) advance sample by sample, so a sequence of
+  /// quanta at a fixed seed is bitwise-identical to one Run() of their sum
+  /// — interleaving many sessions' quanta cannot perturb any one session's
+  /// chain. Multi-chain policies advance one round per call (`max_samples`
+  /// per chain under parallel; `samples_per_round` — the estimator's fixed
+  /// round length — under until, escalating the ladder after an unconverged
+  /// round, so the return may exceed `max_samples`). Returns 0 when the
+  /// until policy already holds its bound: a converged session has no work.
+  uint64_t RunQuantum(uint64_t max_samples);
+
   /// Until policy: true once every registered query satisfied the bound.
   bool converged() const;
 
@@ -305,10 +327,11 @@ class Session {
   /// their own per-chain copies).
   const std::unordered_map<std::string, size_t>& subscriptions() const;
 
-  /// The cache key for `sql`: lexer-backed normalization. Whitespace
-  /// between tokens collapses to single spaces, keywords uppercase, and
-  /// `!=` canonicalizes to `<>`; identifiers and string literals are
-  /// preserved verbatim (identifier resolution against the catalog is
+  /// The cache key for `sql`: sql::NormalizeForCache, the one definition
+  /// shared with the cross-session serve-layer plan cache. Whitespace and
+  /// `--`/`/* */` comments between tokens vanish, keywords uppercase, `!=`
+  /// canonicalizes to `<>`; identifiers and string literals are preserved
+  /// verbatim (identifier resolution against the catalog is
   /// case-sensitive). Two texts share a cache entry exactly when they
   /// tokenize identically.
   static std::string NormalizeSql(const std::string& sql);
@@ -330,6 +353,9 @@ class Session {
   };
 
   QueryProgress SnapshotSlot(size_t slot) const;
+  /// Cumulative sample count of the multi-chain result state (max across
+  /// registered queries, under the results lock).
+  uint64_t CurrentMultiSamples() const;
   /// One round of B COW chains folded into the session state (under the
   /// results lock); returns the per-query sample count after the fold.
   uint64_t RunParallelRound(uint64_t samples_per_chain, size_t num_chains,

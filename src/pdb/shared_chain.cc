@@ -182,9 +182,14 @@ double SharedChainEvaluator::MaxHalfWidth(size_t slot) const {
 uint64_t SharedChainEvaluator::RunUntilConverged(uint64_t max_samples) {
   FGPDB_CHECK(tracking_)
       << "RunUntilConverged requires EnableConvergenceTracking";
+  return RunQuantum(max_samples);
+}
+
+uint64_t SharedChainEvaluator::RunQuantum(uint64_t max_samples) {
   if (!initialized_) Initialize();
   uint64_t drawn = 0;
-  while (drawn < max_samples && !all_converged()) {
+  while (drawn < max_samples) {
+    if (tracking_ && all_converged()) break;
     DrawSample();
     ++drawn;
   }

@@ -72,6 +72,15 @@ class SharedChainEvaluator {
   /// Initialize (if needed) plus `n` samples.
   void Run(uint64_t n);
 
+  /// Scheduler entry point (serve layer): initialize if needed, then draw
+  /// at most `max_samples` samples, stopping early only when convergence
+  /// tracking is enabled and every query's bound holds. Returns the samples
+  /// actually drawn. The chain advances exactly as Run() would — a sequence
+  /// of quanta at a fixed seed is bitwise-identical to one call of their
+  /// sum, which is what lets a fair scheduler interleave many tenants'
+  /// chains without perturbing any single tenant's trajectory.
+  uint64_t RunQuantum(uint64_t max_samples);
+
   /// Switches the chain to run-until-error-bound mode: every registered
   /// query tracks per-tuple batched-means standard errors, and a query
   /// whose answer is within ±eps at the requested confidence freezes — its

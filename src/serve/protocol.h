@@ -1,0 +1,60 @@
+// The serve layer's wire protocol: newline-delimited text commands.
+//
+// One request per line, one response per request; multi-line responses
+// (SNAPSHOT rows, STATS) end with a line reading "END". The grammar is
+// deliberately small enough to drive by hand from a terminal, from a
+// script file, or from a client program printing lines down a pipe —
+// tools/fgpdb_serve is the stdin/stdout front end, and examples/ drive the
+// same protocol in-process.
+//
+//   TENANT NEW [SERIAL | NAIVE | UNTIL <confidence> <eps>] [SEED <n>]
+//                                  → OK tenant=<id>
+//   TENANT CLOSE <id>              → OK
+//   QUERY <tenant> <sql...>        → OK query=<qid>   (SQL = rest of line)
+//   RUN <tenant> <samples>         → OK admitted=<samples>
+//   SNAPSHOT <tenant> <qid> [TOP <k>]
+//                                  → SNAPSHOT samples=<n> converged=<0|1>
+//                                      half_width=<w> rows=<r>
+//                                    <probability> <tuple>   × r
+//                                    END
+//   DRAIN                          → OK drained
+//   STATS                          → STATS ... key=value lines ... END
+//   QUIT                           → OK bye
+//
+// Failures answer `ERR <CODE> <message>` with CODE from StatusCodeName
+// (OVERLOADED, NOT_FOUND, INVALID_ARGUMENT, UNAVAILABLE) — admission
+// rejections are ordinary responses, not connection errors, so an
+// open-loop client can retry them.
+#ifndef FGPDB_SERVE_PROTOCOL_H_
+#define FGPDB_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "serve/server.h"
+
+namespace fgpdb {
+namespace serve {
+
+class LineProtocol {
+ public:
+  struct Result {
+    std::string response;  // Complete response text, '\n'-terminated.
+    bool quit = false;     // QUIT was requested.
+  };
+
+  /// Borrows `server`; one LineProtocol per client connection (the parser
+  /// itself is stateless between lines, so this is cheap).
+  explicit LineProtocol(Server* server);
+
+  /// Executes one request line (without trailing newline) and returns the
+  /// full response. Blank lines and `#` comment lines answer "".
+  Result HandleLine(const std::string& line);
+
+ private:
+  Server* server_;
+};
+
+}  // namespace serve
+}  // namespace fgpdb
+
+#endif  // FGPDB_SERVE_PROTOCOL_H_

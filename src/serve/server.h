@@ -1,0 +1,249 @@
+// fgpdb::serve — the multi-tenant server loop over api::Session.
+//
+// The paper promises a DATABASE: many users issuing queries against one
+// probabilistic store while inference runs continuously. Everything below
+// this layer is per-connection — one Session, one chain schedule, one
+// caller driving Run(). serve::Server is the step from library to service:
+//
+//   ┌───────────────────────────── serve::Server ─────────────────────────┐
+//   │  tenant registry          cross-session PlanCache    fair scheduler │
+//   │  (TenantId → Session)     (normalized SQL → plan,    (bounded step  │
+//   │                            LRU, hit/miss/eviction)    quanta on the │
+//   │                                                       ThreadPool)   │
+//   └─────────────────────────────────────────────────────────────────────┘
+//        │ CreateTenant / RegisterQuery / Submit / Snapshot / Drain
+//
+// Scheduling model. A tenant's admitted work is a budget of samples.
+// The scheduler slices every budget into bounded quanta
+// (ServerOptions::quantum_samples) and round-robins runnable tenants
+// through the shared ThreadPool: each task advances ONE tenant by ONE
+// quantum (Session::RunQuantum), then re-enqueues the tenant behind every
+// other runnable tenant. Quanta are the preemption points — a tenant can
+// never hold a core longer than one quantum — and because each tenant's
+// chain only advances inside its own serialized quanta, the interleaving
+// across tenants cannot perturb any single tenant's trajectory: one tenant
+// scheduled here at a fixed seed answers bitwise-identically to the same
+// Session run standalone.
+//
+// Admission control and preemption use PR 6's convergence state. A tenant
+// whose Until policy holds its error bound YIELDS its remaining budget
+// (RunQuantum returns 0; the scheduler retires the tenant's pending work
+// and frees the slot), and a per-tenant outstanding-samples cap rejects
+// over-subscription with a typed StatusCode::kOverloaded — the client
+// retries after draining, so admitted work is never silently dropped.
+//
+// Streaming results. Snapshot() serves a registered query's current
+// marginals (api::QueryProgress) WITHOUT stopping the chain: it waits at
+// most one quantum for the tenant's chain lock, reads, and returns while
+// sampling continues. Snapshot and quantum latencies are recorded in
+// util::LatencyHistogram (SchedulerMetrics) — the serve bench's p50/p95/p99
+// numbers come from here and from client-side timing of this call.
+#ifndef FGPDB_SERVE_SERVER_H_
+#define FGPDB_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/plan_cache.h"
+#include "api/session.h"
+#include "util/latency_histogram.h"
+#include "util/thread_pool.h"
+
+namespace fgpdb {
+namespace serve {
+
+enum class StatusCode {
+  kOk,
+  /// Admission control: the tenant's outstanding-samples budget is full.
+  /// Retriable — resubmit after some of the backlog drains.
+  kOverloaded,
+  /// Unknown tenant or query id.
+  kNotFound,
+  /// Malformed request (unknown command, zero-sample submission, querying
+  /// a tenant with no registered queries). SQL that fails to parse/bind is
+  /// NOT downgraded to this: like everywhere else in the library, it is
+  /// fatal — the wire front end's job is to hand the server valid SQL.
+  kInvalidArgument,
+  /// The server reached max_tenants or is shutting down.
+  kUnavailable,
+};
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  static Status Ok() { return {}; }
+  static Status Overloaded(std::string msg) {
+    return {StatusCode::kOverloaded, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status InvalidArgument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status Unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+};
+
+/// Human-readable code name ("OK", "OVERLOADED", ...) — the wire token.
+const char* StatusCodeName(StatusCode code);
+
+using TenantId = uint64_t;
+using QueryId = size_t;
+
+struct TenantOptions {
+  /// Per-tenant execution policy (serial, until, ...). Multi-chain
+  /// policies spawn their own chain workers inside the tenant's quantum;
+  /// tenants meant to share cores fairly should stay on resident-chain
+  /// policies (serial / naive / Until(..., 1)).
+  api::ExecutionPolicy policy = {};
+  /// Chain schedule override; the server's default when unset. Distinct
+  /// tenants with identical options sample identical chains — vary the
+  /// seed per tenant for decorrelated service.
+  bool has_evaluator = false;
+  pdb::EvaluatorOptions evaluator = {};
+  std::string name;  // for logs/stats only
+};
+
+struct ServerOptions {
+  /// The one shared base world every tenant Session snapshots (COW — the
+  /// base is never mutated). Borrowed; must outlive the server.
+  pdb::ProbabilisticDatabase* database = nullptr;
+  /// Optional model override for tenant sessions.
+  const factor::Model* model = nullptr;
+  /// Proposal factory handed to every tenant Session.
+  pdb::ProposalFactory proposal_factory = {};
+  /// Default chain schedule (TenantOptions::evaluator overrides).
+  pdb::EvaluatorOptions evaluator = {};
+
+  /// Cross-session plan cache capacity (distinct normalized texts).
+  size_t plan_cache_capacity = 128;
+  /// Scheduler slice: samples per quantum. Smaller = fairer interleaving
+  /// and lower snapshot-latency tails, larger = less scheduling overhead.
+  uint64_t quantum_samples = 16;
+  /// Admission cap: max samples a tenant may have admitted-but-undrawn.
+  /// Submissions beyond it get StatusCode::kOverloaded.
+  uint64_t max_outstanding_samples = 4096;
+  size_t max_tenants = 256;
+  /// Scheduler worker threads (0 = hardware concurrency).
+  size_t num_threads = 0;
+};
+
+struct TenantStats {
+  std::string name;
+  size_t num_queries = 0;
+  uint64_t submitted = 0;       // samples admitted
+  uint64_t rejected = 0;        // submissions refused with kOverloaded
+  uint64_t samples_drawn = 0;
+  uint64_t yielded = 0;         // admitted samples retired by convergence
+  uint64_t pending = 0;         // admitted, not yet drawn
+  uint64_t quanta = 0;
+  bool converged = false;
+};
+
+struct SchedulerMetrics {
+  uint64_t quanta_executed = 0;
+  uint64_t samples_drawn = 0;
+  uint64_t submissions_admitted = 0;
+  uint64_t submissions_rejected = 0;
+  /// Quanta that found the tenant converged and retired its backlog.
+  uint64_t converged_yields = 0;
+  uint64_t snapshots_served = 0;
+  /// Server-side service time of Snapshot() (lock wait + read).
+  LatencyHistogram snapshot_latency;
+  /// Wall time of each scheduler quantum.
+  LatencyHistogram quantum_latency;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  /// Drains admitted work, then joins the scheduler pool.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Opens a tenant Session over the shared base world (reading plans
+  /// through the server's cross-session cache).
+  Status CreateTenant(TenantId* id, TenantOptions options = {});
+
+  /// Waits for the tenant's backlog to drain, then closes its Session.
+  Status CloseTenant(TenantId id);
+
+  /// Parses/binds `sql` through the shared plan cache and registers it as
+  /// a maintained view on the tenant's chain. Mid-run registration is
+  /// legal (the view starts counting samples from now).
+  Status RegisterQuery(TenantId id, const std::string& sql, QueryId* query);
+
+  /// Admits `samples` of chain work for the tenant, or rejects with
+  /// kOverloaded when the outstanding cap would be exceeded. Admitted work
+  /// is scheduled immediately and never dropped (converged tenants retire
+  /// theirs by yielding, which counts as service, not loss).
+  Status Submit(TenantId id, uint64_t samples);
+
+  /// Mid-run streaming read of one query's progress; never stops the
+  /// chain. Blocks at most ~one quantum (the tenant's chain lock).
+  Status Snapshot(TenantId id, QueryId query, api::QueryProgress* out);
+
+  /// Blocks until every admitted sample has been drawn or yielded.
+  void Drain();
+
+  Status GetTenantStats(TenantId id, TenantStats* out) const;
+  SchedulerMetrics metrics() const;
+  api::PlanCache::Stats plan_cache_stats() const;
+  size_t num_tenants() const;
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Tenant {
+    TenantId id = 0;
+    std::string name;
+    std::unique_ptr<api::Session> session;
+    std::vector<api::ResultHandle> queries;
+
+    /// Serializes all Session access (quanta, snapshots, registration):
+    /// Sessions are externally synchronized, and this lock is the bounded
+    /// wait behind streaming snapshots.
+    std::mutex chain_mu;
+
+    // --- guarded by Server::mu_ -------------------------------------------
+    uint64_t pending = 0;
+    bool queued = false;   // a quantum task for this tenant is on the pool
+    bool closing = false;
+    TenantStats stats;
+  };
+
+  /// Finds a tenant (shared ownership keeps it alive across the call even
+  /// if CloseTenant races); null when unknown.
+  std::shared_ptr<Tenant> FindTenant(TenantId id) const;
+  /// Requires mu_: enqueue a quantum task if the tenant is runnable.
+  void ScheduleLocked(const std::shared_ptr<Tenant>& tenant);
+  /// Pool task body: one quantum for one tenant.
+  void RunQuantumTask(std::shared_ptr<Tenant> tenant);
+
+  ServerOptions options_;
+  api::PlanCache plan_cache_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  /// Signalled whenever a tenant's pending/queued state clears.
+  std::condition_variable idle_cv_;
+  std::unordered_map<TenantId, std::shared_ptr<Tenant>> tenants_;
+  TenantId next_tenant_id_ = 1;
+  SchedulerMetrics metrics_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace serve
+}  // namespace fgpdb
+
+#endif  // FGPDB_SERVE_SERVER_H_

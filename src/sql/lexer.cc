@@ -40,6 +40,23 @@ std::vector<Token> Lex(const std::string& input) {
       ++i;
       continue;
     }
+    // Comments are token separators, exactly like whitespace: `-- ...` to
+    // end of line, `/* ... */` (non-nesting) anywhere. Skipping them here
+    // makes commented queries both parse and share a normalized cache key
+    // with their uncommented spelling (sql::NormalizeForCache).
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      i += 2;
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      const size_t open = i;
+      i += 2;
+      while (i + 1 < n && !(input[i] == '*' && input[i + 1] == '/')) ++i;
+      FGPDB_CHECK(i + 1 < n) << "unterminated /* comment at " << open;
+      i += 2;
+      continue;
+    }
     const size_t start = i;
     if (IsIdentStart(c)) {
       size_t j = i + 1;

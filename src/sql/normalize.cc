@@ -1,0 +1,28 @@
+#include "sql/normalize.h"
+
+#include "sql/lexer.h"
+
+namespace fgpdb {
+namespace sql {
+
+std::string NormalizeForCache(const std::string& sql) {
+  std::string out;
+  for (const Token& token : Lex(sql)) {
+    if (token.type == TokenType::kEnd) break;
+    if (!out.empty()) out += ' ';
+    if (token.type == TokenType::kString) {
+      out += '\'';
+      for (const char c : token.text) {
+        out += c;
+        if (c == '\'') out += c;  // Re-escape embedded quotes.
+      }
+      out += '\'';
+    } else {
+      out += token.text;
+    }
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace fgpdb

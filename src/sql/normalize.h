@@ -1,0 +1,27 @@
+// The ONE normalization both plan caches key on.
+//
+// api::Session's per-instance prepared-statement cache and the
+// cross-session serve::Server plan cache must agree on what "the same
+// query" means, or a query prepared through one layer misses in the other.
+// NormalizeForCache is that shared definition: two texts share a cache
+// entry exactly when they tokenize identically — whitespace between tokens
+// collapses to single spaces, keywords uppercase, `!=` canonicalizes to
+// `<>`, and `--`/`/* */` comments vanish (the lexer treats them as token
+// separators), while identifiers and string literals are preserved
+// verbatim (identifier resolution against the catalog is case-sensitive).
+#ifndef FGPDB_SQL_NORMALIZE_H_
+#define FGPDB_SQL_NORMALIZE_H_
+
+#include <string>
+
+namespace fgpdb {
+namespace sql {
+
+/// The plan-cache key for `sql`. Fatal on malformed input (unterminated
+/// string literal or block comment), like the lexer it is built on.
+std::string NormalizeForCache(const std::string& sql);
+
+}  // namespace sql
+}  // namespace fgpdb
+
+#endif  // FGPDB_SQL_NORMALIZE_H_

@@ -1,0 +1,57 @@
+#include "util/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgpdb {
+
+void LatencyHistogram::BucketBounds(uint32_t index, uint64_t* lower,
+                                    uint64_t* upper) {
+  const uint32_t octave = index / kSubBuckets;
+  const uint32_t sub = index % kSubBuckets;
+  if (octave == 0) {
+    *lower = sub;
+    *upper = sub + 1;
+    return;
+  }
+  const uint64_t width = uint64_t{1} << (octave - 1);
+  *lower = (uint64_t{kSubBuckets} + sub) * width;
+  *upper = *lower + width;
+}
+
+double LatencyHistogram::QuantileNanos(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the order statistic we report: ceil(q·count), at least 1.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      uint64_t lower = 0, upper = 0;
+      BucketBounds(i, &lower, &upper);
+      // The top bucket is open-ended under clamping; the exact max is a
+      // tighter (and honest) representative there.
+      if (i == kNumBuckets - 1 && max_nanos_ >= upper) {
+        return static_cast<double>(max_nanos_);
+      }
+      return (static_cast<double>(lower) + static_cast<double>(upper)) / 2.0;
+    }
+  }
+  return static_cast<double>(max_nanos_);  // Unreachable: counts_ covers all.
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (uint32_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  max_nanos_ = std::max(max_nanos_, other.max_nanos_);
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  max_nanos_ = 0;
+}
+
+}  // namespace fgpdb

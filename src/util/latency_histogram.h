@@ -1,0 +1,87 @@
+// Allocation-free fixed-log-bucket latency histogram.
+//
+// The serve layer's scheduler and the multi-tenant bench record one latency
+// per snapshot / quantum on hot paths, so the recorder must be O(1) with no
+// allocation and no floating-point log: Record() is a bit-scan plus two
+// shifts into a fixed bucket array. Buckets are HDR-style — kSubBuckets
+// linear sub-buckets per power-of-two octave — so every recorded value
+// lands in a bucket whose width is at most value/kSubBuckets, bounding the
+// relative error of any quantile at 1/(2·kSubBuckets) (6.25% with the
+// default 8 sub-buckets). Merge() is element-wise addition, which makes
+// per-thread histograms foldable without locks on the record path.
+#ifndef FGPDB_UTIL_LATENCY_HISTOGRAM_H_
+#define FGPDB_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace fgpdb {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave: the resolution/footprint knob.
+  static constexpr uint32_t kSubBucketBits = 3;
+  static constexpr uint32_t kSubBuckets = 1u << kSubBucketBits;
+  /// Octaves above the exact [0, kSubBuckets) range. 44 octaves cover
+  /// [0, 2^46) ns — sub-nanosecond through ~19.5 hours — at full
+  /// resolution; anything larger clamps into the final bucket.
+  static constexpr uint32_t kOctaves = 44;
+  static constexpr uint32_t kNumBuckets = kSubBuckets * (kOctaves + 1);
+
+  void RecordNanos(uint64_t nanos) {
+    buckets_[BucketIndex(nanos)] += 1;
+    count_ += 1;
+    if (nanos > max_nanos_) max_nanos_ = nanos;
+  }
+  void RecordSeconds(double seconds) {
+    RecordNanos(seconds <= 0.0 ? 0
+                               : static_cast<uint64_t>(seconds * 1e9 + 0.5));
+  }
+
+  uint64_t count() const { return count_; }
+  /// Exact (not bucketed) maximum recorded value; 0 when empty.
+  uint64_t max_nanos() const { return max_nanos_; }
+
+  /// The `q`-quantile (q in [0,1]) as the representative midpoint of the
+  /// bucket holding the ceil(q·count)-th smallest sample; 0 when empty.
+  /// Within the bucketing's relative error of the exact order statistic.
+  double QuantileNanos(double q) const;
+
+  double P50Nanos() const { return QuantileNanos(0.50); }
+  double P95Nanos() const { return QuantileNanos(0.95); }
+  double P99Nanos() const { return QuantileNanos(0.99); }
+
+  /// Element-wise fold of `other` into this histogram. Merging per-thread
+  /// histograms then reading a quantile equals recording every sample into
+  /// one histogram.
+  void Merge(const LatencyHistogram& other);
+
+  void Reset();
+
+ private:
+  /// Values 0..kSubBuckets-1 map exactly to buckets 0..kSubBuckets-1
+  /// (octave 0). Above that, octave o ≥ 1 holds [kSubBuckets·2^(o-1),
+  /// kSubBuckets·2^o) split into kSubBuckets linear buckets of width
+  /// 2^(o-1): the sub-bucket is the kSubBucketBits bits below the MSB.
+  static uint32_t BucketIndex(uint64_t nanos) {
+    if (nanos < kSubBuckets) return static_cast<uint32_t>(nanos);
+    const uint32_t msb = 63u - static_cast<uint32_t>(__builtin_clzll(nanos));
+    const uint32_t octave = msb - kSubBucketBits + 1;
+    if (octave > kOctaves) return kNumBuckets - 1;
+    const uint32_t sub = static_cast<uint32_t>(
+        (nanos >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+    return octave * kSubBuckets + sub;
+  }
+
+  /// [lower, upper) value range of bucket `index` (midpoint is the
+  /// quantile representative).
+  static void BucketBounds(uint32_t index, uint64_t* lower, uint64_t* upper);
+
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t max_nanos_ = 0;
+};
+
+}  // namespace fgpdb
+
+#endif  // FGPDB_UTIL_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,87 @@
+// sql::NormalizeForCache — the shared plan-cache key. The cases that
+// matter for cache identity: comment stripping (`--`, `/* */`), literal
+// preservation, and agreement with the Session front door's key.
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "sql/lexer.h"
+#include "sql/normalize.h"
+
+namespace fgpdb {
+namespace {
+
+TEST(NormalizeForCacheTest, StripsLineComments) {
+  EXPECT_EQ(sql::NormalizeForCache("SELECT X FROM T -- the answer\n"
+                                   "WHERE X = 1"),
+            "SELECT X FROM T WHERE X = 1");
+  // A trailing line comment with no newline still terminates cleanly.
+  EXPECT_EQ(sql::NormalizeForCache("SELECT X FROM T -- tail"),
+            "SELECT X FROM T");
+}
+
+TEST(NormalizeForCacheTest, StripsBlockComments) {
+  EXPECT_EQ(sql::NormalizeForCache("SELECT /* cols */ X FROM /* rel\n"
+                                   "spanning lines */ T WHERE X = 1"),
+            "SELECT X FROM T WHERE X = 1");
+}
+
+TEST(NormalizeForCacheTest, CommentsAreTokenSeparators) {
+  // A comment with no surrounding whitespace must still split tokens —
+  // `X/* */Y` is two identifiers, never `XY`.
+  EXPECT_EQ(sql::NormalizeForCache("SELECT X/* */Y FROM T"),
+            "SELECT X Y FROM T");
+  EXPECT_NE(sql::NormalizeForCache("SELECT X/* */Y FROM T"),
+            sql::NormalizeForCache("SELECT XY FROM T"));
+}
+
+TEST(NormalizeForCacheTest, CommentedQuerySharesKeyWithPlainSpelling) {
+  const std::string plain = "SELECT STRING FROM TOKEN WHERE LABEL = 'B-PER'";
+  const std::string commented =
+      "SELECT STRING -- project the mention text\n"
+      "FROM TOKEN /* the token relation */\n"
+      "WHERE LABEL = 'B-PER' -- person mentions";
+  EXPECT_EQ(sql::NormalizeForCache(commented),
+            sql::NormalizeForCache(plain));
+}
+
+TEST(NormalizeForCacheTest, CommentMarkersInsideStringsArePreserved) {
+  EXPECT_EQ(sql::NormalizeForCache("SELECT X FROM T WHERE S = '--not a comment'"),
+            "SELECT X FROM T WHERE S = '--not a comment'");
+  EXPECT_EQ(sql::NormalizeForCache("SELECT X FROM T WHERE S = '/* kept */'"),
+            "SELECT X FROM T WHERE S = '/* kept */'");
+}
+
+TEST(NormalizeForCacheTest, DivergentCommentsOnlyStillCollide) {
+  EXPECT_EQ(sql::NormalizeForCache("SELECT X FROM T -- v1"),
+            sql::NormalizeForCache("SELECT X FROM T -- v2 entirely different"));
+}
+
+TEST(NormalizeForCacheTest, MinusMinusIsAlwaysAComment) {
+  // SQL's `--` comments unconditionally; `1 - -2` needs the space.
+  EXPECT_EQ(sql::NormalizeForCache("SELECT X FROM T WHERE X = 1 - - 2 --gone"),
+            "SELECT X FROM T WHERE X = 1 - - 2");
+}
+
+TEST(NormalizeForCacheTest, MatchesSessionNormalizeSql) {
+  const std::string sql =
+      "select STRING from TOKEN /* c */ where LABEL != 'B-PER' -- t";
+  EXPECT_EQ(sql::NormalizeForCache(sql), api::Session::NormalizeSql(sql));
+}
+
+TEST(NormalizeForCacheTest, KeywordCaseAndOperatorCanonicalization) {
+  EXPECT_EQ(sql::NormalizeForCache("select X from T where X != 1"),
+            "SELECT X FROM T WHERE X <> 1");
+}
+
+TEST(LexerCommentTest, CommentedQueryLexesLikePlainQuery) {
+  const auto plain = sql::Lex("SELECT X FROM T");
+  const auto commented = sql::Lex("SELECT /* a */ X -- b\nFROM T");
+  ASSERT_EQ(plain.size(), commented.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].type, commented[i].type);
+    EXPECT_EQ(plain[i].text, commented[i].text);
+  }
+}
+
+}  // namespace
+}  // namespace fgpdb

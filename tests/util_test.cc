@@ -1,12 +1,16 @@
 // Unit tests for utilities: RNG, math, strings, hashing, thread pool,
-// table printer.
+// table printer, latency histogram.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "util/flat_map.h"
 #include "util/hash.h"
+#include "util/latency_histogram.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -259,6 +263,87 @@ TEST(HashTest, ConstexprHashesMatchRuntime) {
   const std::string runtime = "emission";
   EXPECT_EQ(compile_time, HashString(runtime));
   EXPECT_EQ(compile_time, Fnv1a(runtime.data(), runtime.size()));
+}
+
+TEST(LatencyHistogramTest, EmptyAndSmallValuesAreExact) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.QuantileNanos(0.99), 0.0);
+  // Values below kSubBuckets land in unit-width buckets: the midpoint
+  // representative is value + 0.5.
+  h.RecordNanos(3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_nanos(), 3u);
+  EXPECT_DOUBLE_EQ(h.QuantileNanos(0.5), 3.5);
+}
+
+TEST(LatencyHistogramTest, QuantilesTrackExactOrderStatistics) {
+  // Log-uniform samples over six decades: every quantile must sit within
+  // the documented 1/(2·kSubBuckets) relative error of the exact order
+  // statistic (plus the half-unit from integer truncation at the bottom).
+  Rng rng(99);
+  LatencyHistogram h;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double log_ns = rng.Uniform() * 6.0 + 1.0;  // 10ns .. 10^7ns
+    const uint64_t ns = static_cast<uint64_t>(std::pow(10.0, log_ns));
+    values.push_back(ns);
+    h.RecordNanos(ns);
+  }
+  std::sort(values.begin(), values.end());
+  const double max_rel =
+      1.0 / (2.0 * LatencyHistogram::kSubBuckets) + 1e-3;
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const double exact = static_cast<double>(values[rank - 1]);
+    const double approx = h.QuantileNanos(q);
+    EXPECT_NEAR(approx, exact, exact * max_rel + 1.0)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeEqualsSingleHistogram) {
+  Rng rng(7);
+  LatencyHistogram merged, a, b, all;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t ns = rng.UniformInt(1000000) + 1;
+    all.RecordNanos(ns);
+    (i % 2 == 0 ? a : b).RecordNanos(ns);
+  }
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.max_nanos(), all.max_nanos());
+  for (const double q : {0.01, 0.25, 0.50, 0.75, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.QuantileNanos(q), all.QuantileNanos(q)) << q;
+  }
+}
+
+TEST(LatencyHistogramTest, OverflowClampsToTopBucketWithExactMax) {
+  LatencyHistogram h;
+  const uint64_t huge = uint64_t{1} << 60;  // beyond the bucketed range
+  h.RecordNanos(huge);
+  EXPECT_EQ(h.max_nanos(), huge);
+  EXPECT_DOUBLE_EQ(h.QuantileNanos(1.0), static_cast<double>(huge));
+}
+
+TEST(LatencyHistogramTest, RecordSecondsRoundsToNanos) {
+  LatencyHistogram h;
+  h.RecordSeconds(1e-6);  // 1000 ns
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_nanos(), 1000u);
+  h.RecordSeconds(-1.0);  // negative clamps to zero, never UB
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.RecordNanos(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_nanos(), 0u);
+  EXPECT_EQ(h.QuantileNanos(0.5), 0.0);
 }
 
 }  // namespace

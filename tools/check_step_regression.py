@@ -25,6 +25,21 @@ per-step cost is size-independent (the §3.4 claim the PR 7 gate pins), so
 steps/sec comparisons transfer; the committed sweep_steps/num_tokens are
 printed for transparency.
 
+Serve-latency (PR 9) mode:
+
+    check_step_regression.py --serve <serve_out.json> <BENCH_pr9.json>
+
+Compares the p99 (and p50) client-side snapshot latency in a fresh
+bench_serve_multitenant JSON against the committed baseline and fails when
+
+    measured_p99 > baseline_p99 * ratio * slack
+
+Also fails when the fresh run reports any lost queries (server.lost != 0)
+— the zero-rejected-then-lost invariant is part of the gate, not just the
+bench's exit code. Latency tails are noisy on shared runners, so the
+committed ratio is wide (5.0); workload shape (tenants/rounds) need not
+match the baseline since p99 is per-operation.
+
 The committed baselines were measured on the dev VM; CI runners are at
 least as fast, and the gate ratio is deliberately generous (default 1.25)
 so only genuine regressions trip it. If a runner class is structurally
@@ -118,10 +133,48 @@ def check_sharded(measured_path: str, baseline_path: str) -> int:
     return 0
 
 
+def check_serve(measured_path: str, baseline_path: str) -> int:
+    with open(measured_path) as f:
+        measured = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    limit_ratio = float(baseline.get("max_regression_ratio", 5.0))
+    slack = float(os.environ.get("STEP_BENCH_SLACK", "1.0"))
+    base_lat = baseline["snapshot_latency_ns"]
+    got_lat = measured["snapshot_latency_ns"]
+    print(f"baseline: {baseline.get('tenants', '?')} tenants, "
+          f"{baseline.get('queries', '?')} queries, "
+          f"ratio {limit_ratio} x slack {slack}")
+
+    failures = []
+    lost = int(measured.get("server", {}).get("lost", 0))
+    if lost != 0:
+        print(f"lost queries: {lost} (must be 0) REGRESSION")
+        failures.append("lost-queries")
+    for quantile in ("p50", "p99"):
+        got = float(got_lat[quantile])
+        limit = float(base_lat[quantile]) * limit_ratio * slack
+        status = "OK" if got <= limit else "REGRESSION"
+        print(f"snapshot {quantile}: {got:,.0f} ns "
+              f"(baseline {float(base_lat[quantile]):,.0f}, "
+              f"limit {limit:,.0f}) {status}")
+        if got > limit:
+            failures.append(quantile)
+
+    if failures:
+        print(f"serve snapshot latency regressed: {', '.join(failures)}")
+        return 1
+    print("serve snapshot latency within budget")
+    return 0
+
+
 def main() -> int:
     args = sys.argv[1:]
     if len(args) == 3 and args[0] == "--sharded":
         return check_sharded(args[1], args[2])
+    if len(args) == 3 and args[0] == "--serve":
+        return check_serve(args[1], args[2])
     if len(args) == 2:
         return check_step_kernel(args[0], args[1])
     print(__doc__)

@@ -1,0 +1,119 @@
+// fgpdb_serve — the multi-tenant server front end (serve::LineProtocol on
+// stdin/stdout).
+//
+// Boots the demo NER world (synthetic news corpus + skip-chain CRF, the
+// same fixture as examples/quickstart), starts a serve::Server over it, and
+// answers one protocol line per input line until QUIT or EOF. Pipe a script
+// in, drive it from a terminal, or fork it from a client speaking the
+// grammar documented in serve/protocol.h:
+//
+//   $ ./tools/fgpdb_serve --tokens=2000 <<'EOF'
+//   TENANT NEW SERIAL SEED 17
+//   QUERY 1 SELECT STRING FROM TOKEN WHERE LABEL = 'PER'
+//   RUN 1 200
+//   DRAIN
+//   SNAPSHOT 1 0 TOP 5
+//   STATS
+//   QUIT
+//   EOF
+//
+// Flags (all --key=value):
+//   --tokens=N           corpus size (default 2000)
+//   --quantum=N          scheduler slice in samples (default 16)
+//   --cache=N            cross-session plan-cache capacity (default 128)
+//   --max-outstanding=N  per-tenant admission cap in samples (default 4096)
+//   --threads=N          scheduler threads (default: hardware concurrency)
+//   --steps=N            MH steps per sample (default 2000)
+//   --burn-in=N          MH burn-in steps (default 10000)
+//   --seed=N             default chain seed (default 17)
+//   --script=FILE        read commands from FILE instead of stdin
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ie/corpus.h"
+#include "ie/ner_proposal.h"
+#include "ie/skip_chain_model.h"
+#include "ie/token_pdb.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+using namespace fgpdb;
+
+namespace {
+
+uint64_t FlagU64(const std::string& arg, const std::string& name,
+                 uint64_t fallback) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return fallback;
+  return std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t num_tokens = 2000, quantum = 16, cache = 128, outstanding = 4096;
+  uint64_t threads = 0, steps = 2000, burn_in = 10000, seed = 17;
+  std::string script;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    num_tokens = FlagU64(arg, "tokens", num_tokens);
+    quantum = FlagU64(arg, "quantum", quantum);
+    cache = FlagU64(arg, "cache", cache);
+    outstanding = FlagU64(arg, "max-outstanding", outstanding);
+    threads = FlagU64(arg, "threads", threads);
+    steps = FlagU64(arg, "steps", steps);
+    burn_in = FlagU64(arg, "burn-in", burn_in);
+    seed = FlagU64(arg, "seed", seed);
+    if (arg.rfind("--script=", 0) == 0) script = arg.substr(9);
+  }
+
+  // The shared base world every tenant snapshots (COW): TOKEN relation +
+  // skip-chain CRF. Never mutated by any tenant.
+  ie::SyntheticCorpus corpus = ie::GenerateCorpus({.num_tokens = num_tokens});
+  ie::TokenPdb tokens = ie::BuildTokenPdb(corpus);
+  ie::SkipChainNerModel model(tokens);
+  model.InitializeFromCorpusStatistics(tokens);
+  tokens.pdb->set_model(&model);
+
+  serve::ServerOptions options;
+  options.database = tokens.pdb.get();
+  options.proposal_factory =
+      [&tokens](pdb::ProbabilisticDatabase&) -> std::unique_ptr<infer::Proposal> {
+    return std::make_unique<ie::DocumentBatchProposal>(&tokens.docs);
+  };
+  options.evaluator = {};
+  options.evaluator.steps_per_sample = steps;
+  options.evaluator.burn_in = burn_in;
+  options.evaluator.seed = seed;
+  options.plan_cache_capacity = cache;
+  options.quantum_samples = quantum;
+  options.max_outstanding_samples = outstanding;
+  options.num_threads = threads;
+  serve::Server server(options);
+  serve::LineProtocol protocol(&server);
+
+  std::ifstream script_file;
+  if (!script.empty()) {
+    script_file.open(script);
+    if (!script_file) {
+      std::cerr << "cannot open --script=" << script << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = script.empty() ? std::cin : script_file;
+
+  std::cout << "# fgpdb serve: " << tokens.num_tokens() << " tokens, "
+            << corpus.num_docs << " documents, quantum=" << quantum
+            << ", plan-cache=" << cache << "\n"
+            << std::flush;
+  std::string line;
+  while (std::getline(in, line)) {
+    const serve::LineProtocol::Result result = protocol.HandleLine(line);
+    std::cout << result.response << std::flush;
+    if (result.quit) break;
+  }
+  server.Drain();
+  return 0;
+}
