@@ -90,11 +90,15 @@ struct NerBench {
     tokens.pdb->set_model(model.get());
   }
 
+  /// `prefetch` arms the proposal's speculative site prefetch against this
+  /// bench's model (bitwise-invisible to the trajectory; ablation knob).
   std::unique_ptr<ie::DocumentBatchProposal> MakeProposal(
-      size_t proposals_per_batch = 2000) const {
-    return std::make_unique<ie::DocumentBatchProposal>(
+      size_t proposals_per_batch = 2000, bool prefetch = false) const {
+    auto proposal = std::make_unique<ie::DocumentBatchProposal>(
         &tokens.docs,
         ie::NerProposalOptions{.proposals_per_batch = proposals_per_batch});
+    if (prefetch) proposal->EnablePrefetch(model.get());
+    return proposal;
   }
 };
 

@@ -35,6 +35,10 @@ enum SeedStream : uint64_t {
   kStreamGibbsSampler,
   kStreamBatchedCorpus,
   kStreamBatchedSampler,
+  kStreamSweepCorpus,
+  kStreamSweepSampler,
+  kStreamRowGibbsCorpus,
+  kStreamRowGibbsSampler,
 };
 
 void BM_MhStep(benchmark::State& state) {
@@ -242,6 +246,63 @@ void BM_ConditionalRow(benchmark::State& state) {
   state.SetLabel(std::to_string(n) + " tuples, all-label row");
 }
 
+void BM_MhStepWorkingSet(benchmark::State& state) {
+  // Working-set sweep for the cache-resident layout: 10k tokens keep the
+  // hot block inside L2, 2M tokens (32 MB of 16-byte records alone, plus
+  // weights and the label shadow) spill far past LLC, so the per-step cost
+  // becomes a pure memory-latency probe. range(1) arms the proposal's
+  // speculative site prefetch — cloned-RNG peeks that warm step t+1's
+  // record and shadow byte while step t scores — isolating how much of the
+  // large-working-set slope the pipelining recovers. Trajectories are
+  // bitwise-identical across both modes (pinned by
+  // PrefetchedProposeIsBitwiseInvisible).
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool prefetch = state.range(1) != 0;
+  NerBench bench(n, DeriveSeed(g_master, kStreamSweepCorpus));
+  auto proposal = bench.MakeProposal(2000, prefetch);
+  auto sampler = bench.tokens.pdb->MakeSampler(
+      proposal.get(), DeriveSeed(g_master, kStreamSweepSampler));
+  sampler->Run(100);
+  for (auto _ : state) {
+    sampler->Step();
+  }
+  state.counters["prefetch"] = prefetch ? 1.0 : 0.0;
+  state.SetLabel(std::to_string(n) + " tuples, " +
+                 (prefetch ? "prefetch" : "no prefetch"));
+  bench.tokens.pdb->DiscardDeltas();
+}
+
+void BM_GibbsRowKernel(benchmark::State& state) {
+  // Row-driven Gibbs ablation. Mode 0 is the two-call reference: Propose
+  // fills the conditional row and draws, then the accept loop rescores the
+  // chosen candidate with a second LogScoreDelta. Mode 1 fuses the two in
+  // Step(n)'s row kernel (candidate sampled straight off ConditionalRow,
+  // row[new] reused as the model ratio). Mode 2 adds the speculative site
+  // prefetch on top. All three walk the same bitwise trajectory
+  // (RowGibbsMatchesReferenceBitwise pins it); the rows price the fusion
+  // and the pipelining separately.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  constexpr size_t kBatch = 1024;
+  NerBench bench(n, DeriveSeed(g_master, kStreamRowGibbsCorpus));
+  infer::GibbsProposal proposal(*bench.model);
+  auto sampler = bench.tokens.pdb->MakeSampler(
+      &proposal, DeriveSeed(g_master, kStreamRowGibbsSampler));
+  sampler->set_row_gibbs(mode >= 1);
+  sampler->set_prefetch(mode >= 2);
+  sampler->Run(100);
+  for (auto _ : state) {
+    sampler->Step(kBatch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+  state.counters["row_gibbs"] = mode >= 1 ? 1.0 : 0.0;
+  state.counters["prefetch"] = mode >= 2 ? 1.0 : 0.0;
+  static const char* kModeNames[] = {"reference two-call", "row kernel",
+                                     "row kernel + prefetch"};
+  state.SetLabel(std::to_string(n) + " tuples, " + kModeNames[mode]);
+  bench.tokens.pdb->DiscardDeltas();
+}
+
 void BM_GibbsStep(benchmark::State& state) {
   // Gibbs resampling evaluates the local conditional for all 9 labels —
   // through ConditionalRow when the model offers it.
@@ -276,6 +337,18 @@ BENCHMARK(BM_ConditionalRow)->Arg(10000)->Arg(200000)
 BENCHMARK(BM_MhStepLinearChain)->Arg(10000)->Arg(200000)
     ->Unit(benchmark::kNanosecond);
 BENCHMARK(BM_GibbsStep)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_MhStepWorkingSet)
+    ->Args({10000, 0})->Args({10000, 1})
+    ->Args({50000, 0})->Args({50000, 1})
+    ->Args({200000, 0})->Args({200000, 1})
+    ->Args({500000, 0})->Args({500000, 1})
+    ->Args({1000000, 0})->Args({1000000, 1})
+    ->Args({2000000, 0})->Args({2000000, 1})
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_GibbsRowKernel)
+    ->Args({10000, 0})->Args({10000, 1})->Args({10000, 2})
+    ->Args({200000, 0})->Args({200000, 1})->Args({200000, 2})
     ->Unit(benchmark::kNanosecond);
 
 int main(int argc, char** argv) {

@@ -49,6 +49,7 @@ class World {
   /// Appends a variable initialized to `value`; returns its id.
   VarId Append(uint32_t value = 0) {
     values_.push_back(value);
+    if (!shadow_.empty()) shadow_.push_back(static_cast<uint8_t>(value));
     return static_cast<VarId>(values_.size() - 1);
   }
 
@@ -60,6 +61,50 @@ class World {
   void Set(VarId var, uint32_t value) {
     FGPDB_CHECK_LT(var, values_.size());
     values_[var] = value;
+    // Write-through: the narrow shadow never lags the wide values, so a
+    // scorer reading it mid-walk sees exactly the current assignment.
+    if (!shadow_.empty()) shadow_[var] = static_cast<uint8_t>(value);
+  }
+
+  /// Maintains a dense uint8_t mirror of the assignment, written through on
+  /// every Set/Apply. Models whose domains fit a byte (the 9 BIO labels)
+  /// read neighbor/partner values at 4× the cache density of the uint32
+  /// array — the step kernel's hot-block label lane. Every current value
+  /// must fit in a byte; the caller guarantees all future values do too
+  /// (the pdb layer enables this only for byte-sized domains). The shadow
+  /// is part of the world's value: copies and snapshots carry their own.
+  void EnableLabelShadow() {
+    shadow_.resize(values_.size());
+    for (size_t v = 0; v < values_.size(); ++v) {
+      FGPDB_CHECK_LT(values_[v], 256u) << "label shadow needs byte domains";
+      shadow_[v] = static_cast<uint8_t>(values_[v]);
+    }
+  }
+
+  /// Drops the shadow (reference/ablation layout: scorers fall back to the
+  /// uint32 array).
+  void DisableLabelShadow() {
+    shadow_.clear();
+    shadow_.shrink_to_fit();
+  }
+
+  /// The narrow label lane, or nullptr when no shadow is attached. Entry v
+  /// always equals Get(v) (write-through on Set).
+  const uint8_t* label_shadow() const {
+    return shadow_.empty() ? nullptr : shadow_.data();
+  }
+
+  bool has_label_shadow() const { return !shadow_.empty(); }
+
+  /// Debug invariant: shadow and values agree on every variable. The step
+  /// kernel asserts this after each mirror flush in debug builds.
+  bool LabelShadowConsistent() const {
+    if (shadow_.empty()) return true;
+    if (shadow_.size() != values_.size()) return false;
+    for (size_t v = 0; v < values_.size(); ++v) {
+      if (shadow_[v] != values_[v]) return false;
+    }
+    return true;
   }
 
   /// Applies `change`, recording old values into `applied` (if non-null).
@@ -76,6 +121,10 @@ class World {
 
  private:
   std::vector<uint32_t> values_;
+  /// Optional narrow mirror of values_ (see EnableLabelShadow). Empty =
+  /// detached. Copies naturally with the world, so COW/snapshot chains each
+  /// carry their own shadow.
+  std::vector<uint8_t> shadow_;
 };
 
 /// Read-only overlay of a Change on top of a World: what the hypothesized

@@ -1,11 +1,11 @@
 #include "ie/skip_chain_model.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <unordered_map>
 
 #include "ie/ner_features.h"
+#include "util/cacheline.h"
 #include "util/logging.h"
 
 namespace fgpdb {
@@ -14,60 +14,35 @@ namespace {
 
 using factor::VarId;
 
-bool IsCapitalized(const std::string& s) {
-  return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
-}
+// Label accessors the hot scoring paths are templated over. Both return the
+// identical value for every variable (write-through shadow invariant), so
+// scores are bitwise-equal whichever layout a world carries; the shadow
+// lane reads 1 byte per label instead of 4 and skips the bounds check.
+struct ShadowLabels {
+  const uint8_t* shadow;
+  uint32_t operator()(VarId v) const { return shadow[v]; }
+};
+struct WorldLabels {
+  const factor::World* world;
+  uint32_t operator()(VarId v) const { return world->Get(v); }
+};
 
 }  // namespace
 
 SkipChainNerModel::SkipChainNerModel(const TokenPdb& tokens,
                                      SkipChainOptions options)
-    : string_ids_(&tokens.string_ids), options_(options) {
-  const size_t n = tokens.num_tokens();
-  prev_.assign(n, kNoVar);
-  next_.assign(n, kNoVar);
-  skip_partners_.assign(n, {});
-
-  for (const auto& doc : tokens.docs) {
-    for (size_t i = 0; i + 1 < doc.size(); ++i) {
-      next_[doc[i]] = doc[i + 1];
-      prev_[doc[i + 1]] = doc[i];
-    }
-    if (!options_.use_skip_edges) continue;
-    // Group this document's capitalized tokens by string id.
-    std::unordered_map<uint32_t, std::vector<VarId>> groups;
-    for (VarId v : doc) {
-      const uint32_t sid = (*string_ids_)[v];
-      if (IsCapitalized(tokens.vocab.String(sid))) groups[sid].push_back(v);
-    }
-    for (const auto& [sid, group] : groups) {
-      (void)sid;
-      if (group.size() < 2) continue;
-      if (group.size() <= options_.max_skip_group) {
-        // All pairs, as in the paper's Figure 3.
-        for (size_t i = 0; i < group.size(); ++i) {
-          for (size_t j = i + 1; j < group.size(); ++j) {
-            skip_partners_[group[i]].push_back(group[j]);
-            skip_partners_[group[j]].push_back(group[i]);
-            ++num_skip_edges_;
-          }
-        }
-      } else {
-        // Bounded fallback: consecutive occurrences only.
-        for (size_t i = 0; i + 1 < group.size(); ++i) {
-          skip_partners_[group[i]].push_back(group[i + 1]);
-          skip_partners_[group[i + 1]].push_back(group[i]);
-          ++num_skip_edges_;
-        }
-      }
-    }
-  }
-  // Ascending partner lists make a single variable's touched skip pairs
-  // come out already in sorted-pair order — the same order the general
-  // (sort + dedupe) enumeration scores in, which keeps the fast path's
-  // floating-point summation bitwise-identical to it.
-  for (auto& partners : skip_partners_) {
-    std::sort(partners.begin(), partners.end());
+    : options_(options) {
+  if (tokens.hot != nullptr &&
+      tokens.hot->MatchesStructure(options_.use_skip_edges,
+                                   options_.max_skip_group)) {
+    hot_ = tokens.hot.get();
+  } else {
+    // Non-default skip structure (or a TokenPdb assembled without the
+    // shared block): build a private one.
+    owned_hot_ = std::make_unique<TokenHotBlock>(
+        BuildTokenHotBlock(tokens.vocab, tokens.string_ids, tokens.docs,
+                           options_.use_skip_edges, options_.max_skip_group));
+    hot_ = owned_hot_.get();
   }
 
   // Register the dense score tables. Entry values mirror Parameters::Get
@@ -103,7 +78,7 @@ SkipChainNerModel::SkipChainNerModel(const TokenPdb& tokens,
 template <typename GetLabel>
 double SkipChainNerModel::NodeScore(VarId v, const GetLabel& get) const {
   const uint32_t y = get(v);
-  return params_.Get(EmissionFeature((*string_ids_)[v], y)) +
+  return params_.Get(EmissionFeature(hot_->records[v].string_id, y)) +
          params_.Get(BiasFeature(y));
 }
 
@@ -127,18 +102,19 @@ void SkipChainNerModel::CollectTouched(const factor::Change& change,
   out->nodes.clear();
   out->edges.clear();
   out->skips.clear();
-  auto add_edge = [&](VarId a, VarId b) {
-    if (a == kNoVar || b == kNoVar) return;
-    out->edges.emplace_back(a, b);
-  };
   for (const auto& assignment : change.assignments) {
     const VarId v = assignment.var;
     out->nodes.push_back(v);
+    const TokenHotBlock::Record& rec = hot_->records[v];
     if (options_.use_transitions) {
-      add_edge(prev_[v], v);
-      add_edge(v, next_[v]);
+      if (rec.prev >= 0) {
+        out->edges.emplace_back(static_cast<VarId>(rec.prev), v);
+      }
+      if (rec.next >= 0) {
+        out->edges.emplace_back(v, static_cast<VarId>(rec.next));
+      }
     }
-    for (VarId p : skip_partners_[v]) {
+    for (const VarId p : SkipPartners(v)) {
       out->skips.emplace_back(std::min(v, p), std::max(v, p));
     }
   }
@@ -158,29 +134,30 @@ void SkipChainNerModel::CollectTouched(const factor::Change& change,
   dedupe(out->skips);
 }
 
-double SkipChainNerModel::CompiledSingleDelta(const factor::World& world,
-                                              VarId var,
-                                              uint32_t new_label) const {
-  const uint32_t old_label = world.Get(var);
+template <typename GetLabel>
+double SkipChainNerModel::CompiledSingleDeltaImpl(VarId var,
+                                                  uint32_t new_label,
+                                                  const GetLabel& get) const {
+  const TokenHotBlock::Record& rec = hot_->records[var];
+  const uint32_t old_label = get(var);
   const double* node_row =
-      node_table_ + static_cast<size_t>((*string_ids_)[var]) * kNumLabels;
+      node_table_ + static_cast<size_t>(rec.string_id) * kNumLabels;
   double delta = node_row[new_label] - node_row[old_label];
   if (options_.use_transitions) {
-    const VarId p = prev_[var];
-    if (p != kNoVar) {
+    if (rec.prev >= 0) {
       const double* row =
-          trans_table_ + static_cast<size_t>(world.Get(p)) * kNumLabels;
+          trans_table_ +
+          static_cast<size_t>(get(static_cast<VarId>(rec.prev))) * kNumLabels;
       delta += row[new_label] - row[old_label];
     }
-    const VarId nx = next_[var];
-    if (nx != kNoVar) {
-      const uint32_t yn = world.Get(nx);
+    if (rec.next >= 0) {
+      const uint32_t yn = get(static_cast<VarId>(rec.next));
       delta += trans_table_[static_cast<size_t>(new_label) * kNumLabels + yn] -
                trans_table_[static_cast<size_t>(old_label) * kNumLabels + yn];
     }
   }
-  for (VarId p : skip_partners_[var]) {
-    const uint32_t yp = world.Get(p);
+  for (const VarId p : SkipPartners(var)) {
+    const uint32_t yp = get(p);
     // The skip factor fires only on label agreement; agreement makes the
     // pair's first label equal to var's, so indexing by var's label reads
     // the same entry the pairwise enumeration does.
@@ -191,48 +168,93 @@ double SkipChainNerModel::CompiledSingleDelta(const factor::World& world,
   return delta;
 }
 
-bool SkipChainNerModel::ConditionalRow(const factor::World& world,
-                                       VarId var, double* out,
-                                       factor::ScoreScratch* scratch) const {
-  (void)scratch;  // Row gathers need no per-call working memory.
-  if (!options_.use_compiled_scoring) return false;
-  EnsureCompiled();
-  const uint32_t old_label = world.Get(var);
+double SkipChainNerModel::CompiledSingleDelta(const factor::World& world,
+                                              VarId var,
+                                              uint32_t new_label) const {
+  if (const uint8_t* shadow = world.label_shadow()) {
+    return CompiledSingleDeltaImpl(var, new_label, ShadowLabels{shadow});
+  }
+  return CompiledSingleDeltaImpl(var, new_label, WorldLabels{&world});
+}
+
+template <typename GetLabel>
+void SkipChainNerModel::ConditionalRowImpl(VarId var, double* out,
+                                           const GetLabel& get) const {
+  const TokenHotBlock::Record& rec = hot_->records[var];
+  const uint32_t old_label = get(var);
   // Term-outer loops: lane v accumulates exactly the terms
   // CompiledSingleDelta(world, var, v) adds, in the same order — node, then
   // prev edge, then next edge, then skip partners ascending — so each lane
   // is bitwise-equal to the per-candidate delta. Lane old_label sums only
   // exact x−x = +0.0 terms, matching the candidate path's hard zero.
   const double* node_row =
-      node_table_ + static_cast<size_t>((*string_ids_)[var]) * kNumLabels;
+      node_table_ + static_cast<size_t>(rec.string_id) * kNumLabels;
   const double node_old = node_row[old_label];
   for (uint32_t v = 0; v < kNumLabels; ++v) out[v] = node_row[v] - node_old;
   if (options_.use_transitions) {
-    const VarId p = prev_[var];
-    if (p != kNoVar) {
+    if (rec.prev >= 0) {
       const double* prow =
-          trans_table_ + static_cast<size_t>(world.Get(p)) * kNumLabels;
+          trans_table_ +
+          static_cast<size_t>(get(static_cast<VarId>(rec.prev))) * kNumLabels;
       const double prow_old = prow[old_label];
       for (uint32_t v = 0; v < kNumLabels; ++v) out[v] += prow[v] - prow_old;
     }
-    const VarId nx = next_[var];
-    if (nx != kNoVar) {
+    if (rec.next >= 0) {
       // The next-edge weights form a column of trans_table_; the transposed
       // table exposes that column as a contiguous row.
       const double* ncol =
-          trans_table_t_ + static_cast<size_t>(world.Get(nx)) * kNumLabels;
+          trans_table_t_ +
+          static_cast<size_t>(get(static_cast<VarId>(rec.next))) * kNumLabels;
       const double ncol_old = ncol[old_label];
       for (uint32_t v = 0; v < kNumLabels; ++v) out[v] += ncol[v] - ncol_old;
     }
   }
-  for (VarId p : skip_partners_[var]) {
-    const uint32_t yp = world.Get(p);
+  for (const VarId p : SkipPartners(var)) {
+    const uint32_t yp = get(p);
     const double score_old = old_label == yp ? skip_table_[old_label] : 0.0;
     for (uint32_t v = 0; v < kNumLabels; ++v) {
       out[v] += (v == yp ? skip_table_[yp] : 0.0) - score_old;
     }
   }
+}
+
+bool SkipChainNerModel::ConditionalRow(const factor::World& world,
+                                       VarId var, double* out,
+                                       factor::ScoreScratch* scratch) const {
+  (void)scratch;  // Row gathers need no per-call working memory.
+  if (!options_.use_compiled_scoring) return false;
+  EnsureCompiled();
+  if (const uint8_t* shadow = world.label_shadow()) {
+    ConditionalRowImpl(var, out, ShadowLabels{shadow});
+  } else {
+    ConditionalRowImpl(var, out, WorldLabels{&world});
+  }
   return true;
+}
+
+void SkipChainNerModel::PrefetchSite(const factor::World& world,
+                                     VarId var) const {
+  // Address arithmetic only — safe for a speculatively predicted future
+  // site whose lines are still cold.
+  PrefetchRead(hot_->records.data() + var);
+  if (const uint8_t* shadow = world.label_shadow()) {
+    PrefetchRead(shadow + var);
+  }
+}
+
+void SkipChainNerModel::PrefetchSiteOperands(const factor::World& world,
+                                             VarId var) const {
+  (void)world;
+  // Reads the (warmed) hot record to hint the dependent lines the scoring
+  // call is about to chase: the node-table row (9 doubles — may straddle
+  // two lines) and the head of the skip-partner span.
+  const TokenHotBlock::Record& rec = hot_->records[var];
+  const double* node_row =
+      node_table_ + static_cast<size_t>(rec.string_id) * kNumLabels;
+  PrefetchRead(node_row);
+  PrefetchRead(node_row + kNumLabels - 1);
+  const VarId* partners = hot_->partners_begin(var);
+  if (partners != hot_->partners_end(var)) PrefetchRead(partners);
 }
 
 double SkipChainNerModel::CompiledLogScoreDelta(const factor::World& world,
@@ -243,7 +265,8 @@ double SkipChainNerModel::CompiledLogScoreDelta(const factor::World& world,
   double delta = 0.0;
   for (VarId v : scratch->nodes) {
     const double* node_row =
-        node_table_ + static_cast<size_t>((*string_ids_)[v]) * kNumLabels;
+        node_table_ +
+        static_cast<size_t>(hot_->records[v].string_id) * kNumLabels;
     delta += node_row[patched.Get(v)] - node_row[world.Get(v)];
   }
   for (const auto& [a, b] : scratch->edges) {
@@ -312,12 +335,13 @@ bool SkipChainNerModel::FactorsRespectPartition(
     const std::vector<uint32_t>& partition) const {
   if (partition.size() != num_variables()) return false;
   for (VarId v = 0; v < partition.size(); ++v) {
-    if (options_.use_transitions && next_[v] != kNoVar &&
-        partition[next_[v]] != partition[v]) {
+    const TokenHotBlock::Record& rec = hot_->records[v];
+    if (options_.use_transitions && rec.next >= 0 &&
+        partition[static_cast<VarId>(rec.next)] != partition[v]) {
       return false;
     }
     if (options_.use_skip_edges) {
-      for (const VarId partner : skip_partners_[v]) {
+      for (const VarId partner : SkipPartners(v)) {
         if (partition[partner] != partition[v]) return false;
       }
     }
@@ -332,11 +356,12 @@ double SkipChainNerModel::LogScore(const factor::World& world) const {
   if (!options_.use_compiled_scoring) {
     for (size_t i = 0; i < n; ++i) {
       const VarId v = static_cast<VarId>(i);
+      const TokenHotBlock::Record& rec = hot_->records[v];
       total += NodeScore(v, label);
-      if (options_.use_transitions && next_[v] != kNoVar) {
-        total += EdgeScore(v, next_[v], label);
+      if (options_.use_transitions && rec.next >= 0) {
+        total += EdgeScore(v, static_cast<VarId>(rec.next), label);
       }
-      for (VarId p : skip_partners_[v]) {
+      for (VarId p : SkipPartners(v)) {
         if (p > v) total += SkipScore(v, p, label);  // Count each pair once.
       }
     }
@@ -345,13 +370,14 @@ double SkipChainNerModel::LogScore(const factor::World& world) const {
   EnsureCompiled();
   for (size_t i = 0; i < n; ++i) {
     const VarId v = static_cast<VarId>(i);
+    const TokenHotBlock::Record& rec = hot_->records[v];
     const uint32_t y = world.Get(v);
-    total += node_table_[static_cast<size_t>((*string_ids_)[v]) * kNumLabels + y];
-    if (options_.use_transitions && next_[v] != kNoVar) {
+    total += node_table_[static_cast<size_t>(rec.string_id) * kNumLabels + y];
+    if (options_.use_transitions && rec.next >= 0) {
       total += trans_table_[static_cast<size_t>(y) * kNumLabels +
-                            world.Get(next_[v])];
+                            world.Get(static_cast<VarId>(rec.next))];
     }
-    for (VarId p : skip_partners_[v]) {
+    for (VarId p : SkipPartners(v)) {
       if (p > v && y == world.Get(p)) total += skip_table_[y];
     }
   }
@@ -377,7 +403,7 @@ void SkipChainNerModel::FeatureDelta(const factor::World& world,
   const auto new_label = [&](VarId v) { return patched.Get(v); };
 
   for (VarId v : s->nodes) {
-    const uint32_t sid = (*string_ids_)[v];
+    const uint32_t sid = hot_->records[v].string_id;
     const uint32_t y_new = new_label(v);
     const uint32_t y_old = old_label(v);
     if (y_new == y_old) continue;

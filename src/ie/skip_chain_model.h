@@ -22,6 +22,14 @@
 // and compiled inference compose; scores are bitwise-identical to the
 // uncompiled path (kept available via use_compiled_scoring=false as the
 // parity reference and ablation).
+//
+// The per-token structure (string ids, sequence neighbors, skip partners)
+// is read from a packed, cache-line-aligned ie::TokenHotBlock rather than
+// separate per-field allocations, and variable labels are read from the
+// world's narrow uint8 shadow when one is attached (factor::World::
+// EnableLabelShadow) — together these keep a step's whole working set in a
+// handful of cache lines. Shadow reads are value-identical to World::Get
+// by the write-through invariant, so scores are bitwise-equal either way.
 #ifndef FGPDB_IE_SKIP_CHAIN_MODEL_H_
 #define FGPDB_IE_SKIP_CHAIN_MODEL_H_
 
@@ -30,6 +38,7 @@
 
 #include "factor/compiled_weights.h"
 #include "factor/model.h"
+#include "ie/token_hot_block.h"
 #include "ie/token_pdb.h"
 
 namespace fgpdb {
@@ -53,10 +62,14 @@ struct SkipChainOptions {
 
 class SkipChainNerModel final : public factor::FeatureModel {
  public:
-  /// The model keeps pointers into `tokens` (string ids, doc structure);
-  /// `tokens` must outlive the model. Thread-safe for concurrent scoring
-  /// once constructed (parameters are read-only during inference), as long
-  /// as concurrent callers pass their own MakeScratch() scratch.
+  /// The model scores against a TokenHotBlock: `tokens.hot` when its
+  /// structure matches `options` (the default — every default-structure
+  /// model shares the one block BuildTokenPdb built), otherwise a private
+  /// block built here from `tokens`. In the shared case the block lives in
+  /// `tokens`, so `tokens` must outlive the model. Thread-safe for
+  /// concurrent scoring once constructed (parameters are read-only during
+  /// inference), as long as concurrent callers pass their own
+  /// MakeScratch() scratch.
   SkipChainNerModel(const TokenPdb& tokens, SkipChainOptions options = {});
 
   // --- factor::Model --------------------------------------------------------
@@ -77,16 +90,26 @@ class SkipChainNerModel final : public factor::FeatureModel {
   bool ConditionalRow(const factor::World& world, factor::VarId var,
                       double* out,
                       factor::ScoreScratch* scratch) const override;
+  /// Cache hints (see factor::Model): PrefetchSite touches the variable's
+  /// 16-byte hot record and its label-shadow byte (address arithmetic
+  /// only — safe for a speculatively predicted future site);
+  /// PrefetchSiteOperands reads the warmed record to hint the node-table
+  /// row and the skip-partner span for the variable about to be scored.
+  void PrefetchSite(const factor::World& world,
+                    factor::VarId var) const override;
+  void PrefetchSiteOperands(const factor::World& world,
+                            factor::VarId var) const override;
   std::unique_ptr<factor::ScoreScratch> MakeScratch() const override;
   double LogScore(const factor::World& world) const override;
   /// Locality for sharded execution: node factors are single-variable,
   /// chain edges link sequence neighbors, and skip partners are
   /// same-document by construction — so any partition that keeps each
   /// document whole is certified exact. Checked against the instantiated
-  /// templates (next_ / skip_partners_), honoring the enabled factor types.
+  /// templates (hot-block next/skip spans), honoring the enabled factor
+  /// types.
   bool FactorsRespectPartition(
       const std::vector<uint32_t>& partition) const override;
-  size_t num_variables() const override { return string_ids_->size(); }
+  size_t num_variables() const override { return hot_->num_tokens(); }
   size_t domain_size(factor::VarId) const override { return kNumLabels; }
 
   // --- factor::FeatureModel --------------------------------------------------
@@ -98,14 +121,30 @@ class SkipChainNerModel final : public factor::FeatureModel {
   factor::Parameters& parameters() override { return params_; }
   const factor::Parameters& parameters() const override { return params_; }
 
+  /// Lightweight view over one token's skip partners in the hot block's
+  /// CSR array — iterable like the vector the model historically stored.
+  struct PartnerSpan {
+    const factor::VarId* first;
+    const factor::VarId* last;
+    const factor::VarId* begin() const { return first; }
+    const factor::VarId* end() const { return last; }
+    size_t size() const { return static_cast<size_t>(last - first); }
+    bool empty() const { return first == last; }
+    factor::VarId front() const { return *first; }
+    factor::VarId operator[](size_t i) const { return first[i]; }
+  };
+
   /// Skip partners of a variable (same-document, same-string tokens),
   /// sorted ascending.
-  const std::vector<factor::VarId>& SkipPartners(factor::VarId var) const {
-    return skip_partners_.at(var);
+  PartnerSpan SkipPartners(factor::VarId var) const {
+    return {hot_->partners_begin(var), hot_->partners_end(var)};
   }
 
+  /// The hot block this model scores against (shared or private).
+  const TokenHotBlock& hot_block() const { return *hot_; }
+
   /// Number of skip edges instantiated (diagnostics; each edge counted once).
-  size_t num_skip_edges() const { return num_skip_edges_; }
+  size_t num_skip_edges() const { return hot_->num_skip_edges; }
 
   /// True if the compiled tables mirror the current parameters (they
   /// refresh lazily on the next scoring call after a weight update).
@@ -119,8 +158,6 @@ class SkipChainNerModel final : public factor::FeatureModel {
                                       double emission_scale = 2.0);
 
  private:
-  static constexpr factor::VarId kNoVar = ~0u;
-
   // Per-factor log scores under a label accessor (the uncompiled reference
   // path; the compiled path reads the same values from the dense tables).
   template <typename GetLabel>
@@ -148,9 +185,17 @@ class SkipChainNerModel final : public factor::FeatureModel {
   /// Single-assignment fast path: the §5.1 kernel flips one label per
   /// step, and for one variable the touched enumeration is already sorted
   /// and duplicate-free (skip partners are kept ascending), so this skips
-  /// scratch, sorting, and patched-world scans outright.
+  /// scratch, sorting, and patched-world scans outright. Dispatches on the
+  /// world's label layout (shadow lane vs uint32 array); both read the
+  /// same values, so the delta is layout-independent bitwise.
   double CompiledSingleDelta(const factor::World& world, factor::VarId var,
                              uint32_t new_label) const;
+  template <typename GetLabel>
+  double CompiledSingleDeltaImpl(factor::VarId var, uint32_t new_label,
+                                 const GetLabel& get) const;
+  template <typename GetLabel>
+  void ConditionalRowImpl(factor::VarId var, double* out,
+                          const GetLabel& get) const;
 
   double CompiledLogScoreDelta(const factor::World& world,
                                const factor::Change& change,
@@ -159,13 +204,13 @@ class SkipChainNerModel final : public factor::FeatureModel {
                             const factor::Change& change,
                             TouchedScratch* scratch) const;
 
-  const std::vector<uint32_t>* string_ids_;
   SkipChainOptions options_;
   factor::Parameters params_;
-  std::vector<factor::VarId> prev_;
-  std::vector<factor::VarId> next_;
-  std::vector<std::vector<factor::VarId>> skip_partners_;
-  size_t num_skip_edges_ = 0;
+  /// The packed per-token structure this model scores against. Points at
+  /// the TokenPdb's shared block when the skip options match it, else at
+  /// owned_hot_.
+  const TokenHotBlock* hot_ = nullptr;
+  std::unique_ptr<TokenHotBlock> owned_hot_;
 
   // Compiled scoring state. The tables' backing storage never moves, so
   // the raw row pointers below stay valid across lazy rebuilds. mutable:

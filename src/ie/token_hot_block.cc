@@ -1,0 +1,89 @@
+#include "ie/token_hot_block.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+namespace fgpdb {
+namespace ie {
+namespace {
+
+using factor::VarId;
+
+bool IsCapitalized(const std::string& s) {
+  return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
+}
+
+}  // namespace
+
+TokenHotBlock BuildTokenHotBlock(
+    const Vocabulary& vocab, const std::vector<uint32_t>& string_ids,
+    const std::vector<std::vector<VarId>>& docs, bool use_skip_edges,
+    size_t max_skip_group) {
+  const size_t n = string_ids.size();
+  TokenHotBlock out;
+  out.built_with_skip_edges = use_skip_edges;
+  out.built_max_skip_group = max_skip_group;
+  out.records.assign(n + 1, TokenHotBlock::Record{});
+  for (size_t v = 0; v < n; ++v) out.records[v].string_id = string_ids[v];
+
+  // Partner lists are accumulated per token, then flattened to CSR. The
+  // temporary vector-of-vectors exists only during the build; steady state
+  // holds just the two flat arrays.
+  std::vector<std::vector<VarId>> partners(n);
+  for (const auto& doc : docs) {
+    for (size_t i = 0; i + 1 < doc.size(); ++i) {
+      out.records[doc[i]].next = static_cast<int32_t>(doc[i + 1]);
+      out.records[doc[i + 1]].prev = static_cast<int32_t>(doc[i]);
+    }
+    if (!use_skip_edges) continue;
+    // Group this document's capitalized tokens by string id.
+    std::unordered_map<uint32_t, std::vector<VarId>> groups;
+    for (VarId v : doc) {
+      const uint32_t sid = string_ids[v];
+      if (IsCapitalized(vocab.String(sid))) groups[sid].push_back(v);
+    }
+    for (const auto& [sid, group] : groups) {
+      (void)sid;
+      if (group.size() < 2) continue;
+      if (group.size() <= max_skip_group) {
+        // All pairs, as in the paper's Figure 3.
+        for (size_t i = 0; i < group.size(); ++i) {
+          for (size_t j = i + 1; j < group.size(); ++j) {
+            partners[group[i]].push_back(group[j]);
+            partners[group[j]].push_back(group[i]);
+            ++out.num_skip_edges;
+          }
+        }
+      } else {
+        // Bounded fallback: consecutive occurrences only.
+        for (size_t i = 0; i + 1 < group.size(); ++i) {
+          partners[group[i]].push_back(group[i + 1]);
+          partners[group[i + 1]].push_back(group[i]);
+          ++out.num_skip_edges;
+        }
+      }
+    }
+  }
+
+  // Flatten to CSR. Ascending spans keep a single variable's touched skip
+  // pairs in sorted-pair order — the same order the general (sort + dedupe)
+  // enumeration scores in, so the fast path's floating-point summation is
+  // bitwise-identical to it.
+  size_t total = 0;
+  for (const auto& list : partners) total += list.size();
+  out.skip_partners.reserve(total);
+  for (size_t v = 0; v < n; ++v) {
+    out.records[v].skip_begin =
+        static_cast<uint32_t>(out.skip_partners.size());
+    std::sort(partners[v].begin(), partners[v].end());
+    out.skip_partners.insert(out.skip_partners.end(), partners[v].begin(),
+                             partners[v].end());
+  }
+  out.records[n].skip_begin = static_cast<uint32_t>(out.skip_partners.size());
+  FGPDB_CHECK_EQ(out.skip_partners.size(), total);
+  return out;
+}
+
+}  // namespace ie
+}  // namespace fgpdb

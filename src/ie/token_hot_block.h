@@ -1,0 +1,109 @@
+// The cache-resident per-token working set of the §5.1 step kernel.
+//
+// One MH proposal over the TOKEN relation touches a handful of per-token
+// fields: the token's string id (node-table row selection), its sequence
+// neighbors (transition factors), and its skip partners (the loopy factors).
+// Stored as separate allocations — a string-id vector here, prev/next
+// vectors there, a vector-of-vectors of partners with one heap node per
+// token — a single proposal chases 4–6 unrelated cache lines, and at
+// corpus scale the step cost is dominated by those misses, not compute.
+//
+// TokenHotBlock packs the hot fields into two cache-line-aligned flat
+// arrays:
+//
+//   records[v]  — one 16-byte record per token {string id, prev, next,
+//                 skip-CSR offset}; four records per 64-byte line, so the
+//                 whole scalar working set of a proposal is ONE line.
+//   skip_partners — the flattened partner lists in CSR form: token v's
+//                 partners are skip_partners[records[v].skip_begin ..
+//                 records[v+1].skip_begin), each span sorted ascending
+//                 (the summation-order contract of the compiled scorer).
+//                 records has num_tokens()+1 entries; the sentinel record
+//                 carries the terminal CSR offset.
+//
+// Labels are NOT here: a label is per-world mutable state (parallel COW
+// chains share one model but each advances its own world), so the narrow
+// label array lives in factor::World as its write-through label shadow
+// (World::EnableLabelShadow) and travels with world copies.
+//
+// Built once per TokenPdb by BuildTokenPdb (default skip structure) and
+// reused by every SkipChainNerModel whose options produce the same
+// structure; models with non-default skip options build a private block.
+#ifndef FGPDB_IE_TOKEN_HOT_BLOCK_H_
+#define FGPDB_IE_TOKEN_HOT_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "factor/world.h"
+#include "ie/vocabulary.h"
+#include "util/cacheline.h"
+#include "util/logging.h"
+
+namespace fgpdb {
+namespace ie {
+
+/// Structural defaults shared with SkipChainOptions (skip_chain_model.h):
+/// BuildTokenPdb builds the default-structure block with these, and a model
+/// whose options match reuses it instead of building its own.
+inline constexpr bool kDefaultUseSkipEdges = true;
+inline constexpr size_t kDefaultMaxSkipGroup = 24;
+
+struct TokenHotBlock {
+  /// Per-token hot record. 16 bytes — four per cache line.
+  struct Record {
+    uint32_t string_id = 0;
+    int32_t prev = -1;  ///< Sequence predecessor VarId, -1 at doc start.
+    int32_t next = -1;  ///< Sequence successor VarId, -1 at doc end.
+    uint32_t skip_begin = 0;  ///< CSR offset into skip_partners.
+  };
+  static_assert(sizeof(Record) == 16, "four records per 64-byte line");
+
+  /// num_tokens()+1 entries; records[n] is the CSR sentinel.
+  CacheAlignedVector<Record> records;
+  /// Flattened skip-partner lists; each token's span sorted ascending.
+  CacheAlignedVector<factor::VarId> skip_partners;
+  /// Skip edges instantiated (each pair counted once; diagnostics).
+  size_t num_skip_edges = 0;
+
+  // Structure-affecting options the block was built with.
+  bool built_with_skip_edges = kDefaultUseSkipEdges;
+  size_t built_max_skip_group = kDefaultMaxSkipGroup;
+
+  size_t num_tokens() const {
+    return records.empty() ? 0 : records.size() - 1;
+  }
+
+  /// Token v's skip-partner span (ascending VarIds).
+  const factor::VarId* partners_begin(factor::VarId v) const {
+    return skip_partners.data() + records[v].skip_begin;
+  }
+  const factor::VarId* partners_end(factor::VarId v) const {
+    return skip_partners.data() + records[v + 1].skip_begin;
+  }
+
+  /// True when this block's structure matches what a model with the given
+  /// skip options would build (so the model can share it).
+  bool MatchesStructure(bool use_skip_edges, size_t max_skip_group) const {
+    if (built_with_skip_edges != use_skip_edges) return false;
+    // Without skip edges the group bound is irrelevant.
+    return !use_skip_edges || built_max_skip_group == max_skip_group;
+  }
+};
+
+/// Builds the packed block from the token stream: prev/next from each
+/// document's sequence order, skip partners by grouping a document's
+/// capitalized tokens by string id (all pairs up to max_skip_group, then a
+/// bounded consecutive-occurrence fallback), each span sorted ascending —
+/// structurally identical to what SkipChainNerModel historically built
+/// into its separate per-field allocations.
+TokenHotBlock BuildTokenHotBlock(
+    const Vocabulary& vocab, const std::vector<uint32_t>& string_ids,
+    const std::vector<std::vector<factor::VarId>>& docs,
+    bool use_skip_edges = kDefaultUseSkipEdges,
+    size_t max_skip_group = kDefaultMaxSkipGroup);
+
+}  // namespace ie
+}  // namespace fgpdb
+
+#endif  // FGPDB_IE_TOKEN_HOT_BLOCK_H_

@@ -44,6 +44,11 @@ TokenPdb BuildTokenPdb(const SyntheticCorpus& corpus) {
     out.docs.at(static_cast<size_t>(record.doc_id)).push_back(var);
   }
   out.pdb->SyncWorldFromDatabase();
+  // All nine BIO labels fit a byte: attach the narrow label lane the step
+  // kernel reads (write-through on every Set, survives SyncWorldFromDatabase).
+  out.pdb->world().EnableLabelShadow();
+  out.hot = std::make_unique<TokenHotBlock>(
+      BuildTokenHotBlock(out.vocab, out.string_ids, out.docs));
   return out;
 }
 

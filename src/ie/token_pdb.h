@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ie/corpus.h"
+#include "ie/token_hot_block.h"
 #include "ie/vocabulary.h"
 #include "pdb/probabilistic_database.h"
 
@@ -39,6 +40,12 @@ struct TokenPdb {
   /// Document structure: docs[d] lists the variable ids of document d's
   /// tokens in sequence order. Variable v == token index == TOK_ID.
   std::vector<std::vector<factor::VarId>> docs;
+
+  /// The packed per-token working set of the step kernel, built with the
+  /// default skip structure. Models whose skip options match share this
+  /// block (see TokenHotBlock::MatchesStructure); owned here so the many
+  /// models/chains a serving session spins up reuse one allocation.
+  std::unique_ptr<TokenHotBlock> hot;
 
   size_t num_tokens() const { return string_ids.size(); }
 };

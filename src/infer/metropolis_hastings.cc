@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "util/logging.h"
+#include "util/math_util.h"
 #include "util/stopwatch.h"
 
 namespace fgpdb {
@@ -82,6 +83,17 @@ bool MetropolisHastings::StepImpl() {
   if (!applied.empty()) {
     for (const auto& listener : listeners_) listener(applied);
   }
+#ifndef NDEBUG
+  // Hot-block discipline: the shadow must agree with the world on every
+  // variable this step wrote. Only own writes are examined — a full-world
+  // scan would race with sibling shard chains advancing other shards.
+  if (const uint8_t* shadow = world_->label_shadow()) {
+    for (const auto& a : applied) {
+      FGPDB_CHECK_EQ(static_cast<uint32_t>(shadow[a.var]), world_->Get(a.var))
+          << "label shadow diverged from world values";
+    }
+  }
+#endif
   if constexpr (kTimed) {
     phase_totals_->mirror_seconds += phase_timer->ElapsedSeconds();
     ++phase_totals_->mirror_flushes;
@@ -106,12 +118,139 @@ size_t MetropolisHastings::StepBatchImpl(size_t n) {
     if (batch_applied_.empty()) return;
     if constexpr (kTimed) phase_timer->Reset();
     for (const auto& listener : listeners_) listener(batch_applied_);
+#ifndef NDEBUG
+    // Hot-block discipline: shadow/world agreement on every variable this
+    // flush carried. Own writes only — a full-world scan would race with
+    // sibling shard chains advancing other shards.
+    if (const uint8_t* shadow = world_->label_shadow()) {
+      for (const auto& a : batch_applied_) {
+        FGPDB_CHECK_EQ(static_cast<uint32_t>(shadow[a.var]),
+                       world_->Get(a.var))
+            << "label shadow diverged from world values";
+      }
+    }
+#endif
     batch_applied_.clear();
     if constexpr (kTimed) {
       phase_totals_->mirror_seconds += phase_timer->ElapsedSeconds();
       ++phase_totals_->mirror_flushes;
     }
   };
+
+  // Row-driven Gibbs: for a proposal that IS the single-site Gibbs kernel,
+  // fuse propose/score/accept — draw the site, fill the conditional row
+  // once, sample the candidate straight from it, and reuse row[new] as the
+  // acceptance's model ratio (legal by the ConditionalRow contract: each
+  // lane is bitwise the per-candidate LogScoreDelta, which is exactly what
+  // the two-call reference path would recompute). Draw order and FP
+  // arithmetic replicate GibbsProposal::Propose + the generic loop below
+  // term-for-term, so the trajectory is bitwise-identical to row_gibbs_
+  // == false; only the second scoring pass disappears.
+  if (row_gibbs_ && proposal_->IsSingleSiteGibbs() &&
+      model_.num_variables() > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      if constexpr (kTimed) {
+        phase_timer->Reset();
+        ++phase_totals_->steps;
+      }
+      ++num_proposed_;
+      const factor::VarId var = proposal_->DrawGibbsSite(*world_, rng_);
+      if (prefetch_) {
+        // Warm step i+1's site while step i scores. The stream distance to
+        // the next site draw is 1 draw (the conditional's Categorical) or
+        // 2 (+ the acceptance draw, taken only when FP round-off pushes
+        // log_alpha below 0), so peek cloned rngs down BOTH branches; the
+        // mispredicted one costs a harmless extra prefetch and the real
+        // stream is never advanced.
+        Rng peek1 = rng_;
+        peek1.Next();
+        model_.PrefetchSite(*world_, proposal_->DrawGibbsSite(*world_, peek1));
+        Rng peek2 = rng_;
+        peek2.Next();
+        peek2.Next();
+        model_.PrefetchSite(*world_, proposal_->DrawGibbsSite(*world_, peek2));
+        // Site i's record was prefetched one step ago; now chase it one
+        // level deeper (weight row, partner span) before scoring.
+        model_.PrefetchSiteOperands(*world_, var);
+      }
+      const size_t k = model_.domain_size(var);
+      row_buf_.resize(k);
+      const uint32_t old_value = world_->Get(var);
+      if constexpr (kTimed) {
+        phase_totals_->propose_seconds += phase_timer->ElapsedSeconds();
+        phase_timer->Reset();
+      }
+      if (!model_.ConditionalRow(*world_, var, row_buf_.data(),
+                                 score_scratch_.get())) {
+        // Per-candidate fill, exactly as GibbsProposal's fallback — the
+        // deltas are deterministic in (world, change), so the row matches
+        // what the reference path computes bitwise.
+        std::fill(row_buf_.begin(), row_buf_.end(), 0.0);
+        for (uint32_t v = 0; v < k; ++v) {
+          if (v == old_value) continue;
+          fused_change_.Clear();
+          fused_change_.Set(var, v);
+          row_buf_[v] = model_.LogScoreDelta(*world_, fused_change_,
+                                             score_scratch_.get());
+        }
+      }
+      // Allocation-free replica of Rng::LogCategorical: same FP ops in the
+      // same order, same single Uniform() draw.
+      const double lse = LogSumExp(row_buf_);
+      prob_buf_.resize(k);
+      for (size_t v = 0; v < k; ++v) {
+        prob_buf_[v] = std::exp(row_buf_[v] - lse);
+      }
+      double total = 0.0;
+      for (const double w : prob_buf_) total += w;
+      FGPDB_CHECK_GT(total, 0.0);
+      const double target = rng_.Uniform() * total;
+      double cum = 0.0;
+      auto new_value = static_cast<uint32_t>(k - 1);
+      for (size_t v = 0; v < k; ++v) {
+        cum += prob_buf_[v];
+        if (target < cum) {
+          new_value = static_cast<uint32_t>(v);
+          break;
+        }
+      }
+      if (new_value == old_value) {
+        // Self-transition: the reference path emits an empty Change, which
+        // the step loop accepts without an acceptance draw.
+        ++num_accepted_;
+        ++accepted;
+        if constexpr (kTimed) {
+          phase_totals_->score_seconds += phase_timer->ElapsedSeconds();
+        }
+        continue;
+      }
+      // GibbsProposal's proposal-ratio correction plus the generic loop's
+      // acceptance, term-for-term. log_alpha is ~0 but not exactly 0 in
+      // FP, so the acceptance draw is consumed exactly when the reference
+      // consumes it.
+      const double log_q_forward = row_buf_[new_value] - lse;
+      const double log_q_backward = row_buf_[old_value] - lse;
+      const double log_proposal_ratio = log_q_backward - log_q_forward;
+      const double log_alpha = row_buf_[new_value] + log_proposal_ratio;
+      bool accept = log_alpha >= 0.0;
+      if (!accept) accept = rng_.Uniform() < std::exp(log_alpha);
+      if constexpr (kTimed) {
+        phase_totals_->score_seconds += phase_timer->ElapsedSeconds();
+        phase_timer->Reset();
+      }
+      if (!accept) continue;
+      world_->Set(var, new_value);
+      if (record) batch_applied_.push_back({var, old_value, new_value});
+      ++num_accepted_;
+      ++accepted;
+      if constexpr (kTimed) {
+        phase_totals_->apply_seconds += phase_timer->ElapsedSeconds();
+      }
+      if (batch_applied_.size() >= mirror_batch_limit_) flush();
+    }
+    flush();
+    return accepted;
+  }
 
   for (size_t i = 0; i < n; ++i) {
     if constexpr (kTimed) {

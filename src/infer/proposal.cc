@@ -12,8 +12,7 @@ void GibbsProposal::Propose(const factor::World& world, Rng& rng,
   *log_ratio = 0.0;
   change->Clear();
   if (model_.num_variables() == 0) return;
-  const auto var =
-      static_cast<factor::VarId>(rng.UniformInt(model_.num_variables()));
+  const factor::VarId var = DrawGibbsSite(world, rng);
   const size_t k = model_.domain_size(var);
   const uint32_t old_value = world.Get(var);
 

@@ -41,6 +41,26 @@ class Proposal {
     Propose(world, rng, &change, log_ratio);
     return change;
   }
+
+  /// True when this proposal is EXACTLY the single-site Gibbs kernel:
+  /// Propose() draws a site via DrawGibbsSite, then resamples it from its
+  /// full conditional (one LogCategorical draw), with the proposal-ratio
+  /// correction that makes MH acceptance ≈ 1. Declaring this lets the
+  /// batched sampler fuse propose/score/accept into its row-driven kernel
+  /// (MetropolisHastings::set_row_gibbs), which replicates the declared
+  /// draw order and floating-point arithmetic bitwise.
+  virtual bool IsSingleSiteGibbs() const { return false; }
+
+  /// The Gibbs kernel's site-selection draw. Must be a pure function of
+  /// (world, rng state) with no proposal-state side effects: the fused
+  /// kernel also invokes it on *cloned* rngs to predict the next site for
+  /// cache prefetching, and a side effect would fire once per prediction.
+  virtual factor::VarId DrawGibbsSite(const factor::World& world, Rng& rng) {
+    (void)world;
+    (void)rng;
+    FGPDB_CHECK(false) << "not a single-site Gibbs proposal";
+    return 0;
+  }
 };
 
 /// The generic symmetric kernel: pick a variable uniformly, pick a new value
@@ -84,6 +104,12 @@ class GibbsProposal final : public Proposal {
   using Proposal::Propose;
   void Propose(const factor::World& world, Rng& rng, factor::Change* change,
                double* log_ratio) override;
+
+  bool IsSingleSiteGibbs() const override { return true; }
+  factor::VarId DrawGibbsSite(const factor::World& /*world*/,
+                              Rng& rng) override {
+    return static_cast<factor::VarId>(rng.UniformInt(model_.num_variables()));
+  }
 
  private:
   const factor::Model& model_;

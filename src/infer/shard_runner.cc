@@ -32,6 +32,10 @@ ShardRunner::ShardRunner(const factor::Model& model, factor::World* world,
         num_shards == 1 ? options.seed : DeriveSeed(options.seed, s);
     shard.chain = std::make_unique<MetropolisHastings>(
         model, world, shard.proposal.get(), shard_seed);
+    // Pre-size the accepted-assignment buffer to the chain's flush quantum
+    // so interval stepping never grows it mid-walk (appends stay
+    // allocation-free until an interval exceeds one mirror batch).
+    shard.buffer.reserve(shard.chain->mirror_batch_limit());
     shards_.push_back(std::move(shard));
   }
   // Listeners registered after the moves above so the captured Shard

@@ -27,7 +27,11 @@
 // Safety: while stepping, shard chains write only World slots of their own
 // shard (disjoint scalar objects — race-free by the C++ memory model) and
 // read only their shard's slots for scoring (the locality contract again).
-// The database is untouched until the coordinator's single-threaded drain.
+// This covers the world's label shadow too: World::Set writes through to
+// shadow byte `var`, and distinct array bytes are distinct memory
+// locations, so shard-disjoint writes stay race-free with the narrow lane
+// attached. The database is untouched until the coordinator's
+// single-threaded drain.
 #ifndef FGPDB_INFER_SHARD_RUNNER_H_
 #define FGPDB_INFER_SHARD_RUNNER_H_
 

@@ -45,8 +45,13 @@ class ProbabilisticDatabase {
   }
 
   /// Loads the world from the stored field values (call after populating
-  /// tables and bindings).
-  void SyncWorldFromDatabase() { world_ = binding_.LoadWorld(*db_); }
+  /// tables and bindings). A label shadow, if attached, is re-enabled on
+  /// the freshly loaded world so the narrow lane survives re-syncs.
+  void SyncWorldFromDatabase() {
+    const bool shadowed = world_.has_label_shadow();
+    world_ = binding_.LoadWorld(*db_);
+    if (shadowed) world_.EnableLabelShadow();
+  }
 
   /// Creates an MH sampler over this database's world: accepted changes are
   /// mirrored into the tables and coalesced into the row-granular delta

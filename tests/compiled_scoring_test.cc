@@ -335,6 +335,183 @@ TEST(CompiledScoringTest, BatchedStepMatchesSingleStepsBitwise) {
   }
 }
 
+// The row-driven Gibbs kernel (PR 10): with a single-site Gibbs proposal,
+// Step(n)'s fused path — candidate sampled straight from ConditionalRow,
+// row[new] reused as the acceptance's model ratio — must replay the
+// reference two-call path (GibbsProposal::Propose + LogScoreDelta) exactly:
+// same accepted count, same applied stream, same final world, bitwise,
+// over ≥1k steps. Prefetch pipelining must change nothing either. Runs on
+// shadow-carrying worlds so the narrow label lane is exercised end to end.
+TEST(CompiledScoringTest, RowGibbsMatchesReferenceBitwise) {
+  CompiledVsNaive fixture(800, 47);
+  const size_t kSteps = 4000;
+  const uint64_t kSeed = 777;
+
+  struct Runner {
+    factor::World world;
+    infer::GibbsProposal proposal;
+    infer::MetropolisHastings sampler;
+    std::vector<factor::AppliedAssignment> stream;
+
+    Runner(const CompiledVsNaive& f, uint64_t seed)
+        : world(f.tokens.pdb->world()),  // Carries the label shadow.
+          proposal(*f.compiled),
+          sampler(*f.compiled, &world, &proposal, seed) {
+      sampler.AddListener(
+          [this](const std::vector<factor::AppliedAssignment>& applied) {
+            stream.insert(stream.end(), applied.begin(), applied.end());
+          });
+    }
+  };
+
+  Runner fused(fixture, kSeed);
+  ASSERT_TRUE(fused.sampler.row_gibbs());  // The default.
+  ASSERT_TRUE(fused.world.has_label_shadow());
+  Runner fused_prefetch(fixture, kSeed);
+  fused_prefetch.sampler.set_prefetch(true);
+  Runner reference(fixture, kSeed);
+  reference.sampler.set_row_gibbs(false);
+  Runner single(fixture, kSeed);
+  single.sampler.set_row_gibbs(false);
+
+  const size_t accepted_fused = fused.sampler.Step(kSteps);
+  const size_t accepted_fused_prefetch = fused_prefetch.sampler.Step(kSteps);
+  const size_t accepted_reference = reference.sampler.Step(kSteps);
+  size_t accepted_single = 0;
+  for (size_t i = 0; i < kSteps; ++i) {
+    if (single.sampler.Step()) ++accepted_single;
+  }
+
+  EXPECT_EQ(accepted_fused, accepted_reference);
+  EXPECT_EQ(accepted_fused, accepted_fused_prefetch);
+  EXPECT_EQ(accepted_fused, accepted_single);
+  ASSERT_EQ(fused.stream.size(), reference.stream.size());
+  ASSERT_EQ(fused.stream.size(), fused_prefetch.stream.size());
+  ASSERT_EQ(fused.stream.size(), single.stream.size());
+  EXPECT_GT(fused.stream.size(), 0u);
+  for (size_t i = 0; i < fused.stream.size(); ++i) {
+    ASSERT_EQ(fused.stream[i].var, reference.stream[i].var) << "record " << i;
+    ASSERT_EQ(fused.stream[i].old_value, reference.stream[i].old_value);
+    ASSERT_EQ(fused.stream[i].new_value, reference.stream[i].new_value);
+    ASSERT_EQ(fused.stream[i].var, fused_prefetch.stream[i].var);
+    ASSERT_EQ(fused.stream[i].new_value, fused_prefetch.stream[i].new_value);
+    ASSERT_EQ(fused.stream[i].var, single.stream[i].var);
+    ASSERT_EQ(fused.stream[i].new_value, single.stream[i].new_value);
+  }
+  for (size_t v = 0; v < fused.world.size(); ++v) {
+    const auto var = static_cast<factor::VarId>(v);
+    ASSERT_EQ(fused.world.Get(var), reference.world.Get(var)) << "var " << v;
+    ASSERT_EQ(fused.world.Get(var), fused_prefetch.world.Get(var));
+    ASSERT_EQ(fused.world.Get(var), single.world.Get(var));
+  }
+  EXPECT_TRUE(fused.world.LabelShadowConsistent());
+
+  // The fallback (non-compiled) row fill must fuse identically too: the
+  // naive model has no ConditionalRow, so the fused kernel's per-candidate
+  // fill is exercised against the reference pair.
+  factor::World naive_fused_world = fixture.tokens.pdb->world();
+  factor::World naive_reference_world = fixture.tokens.pdb->world();
+  infer::GibbsProposal naive_prop_a(*fixture.naive);
+  infer::GibbsProposal naive_prop_b(*fixture.naive);
+  infer::MetropolisHastings naive_fused_chain(*fixture.naive,
+                                              &naive_fused_world,
+                                              &naive_prop_a, kSeed);
+  infer::MetropolisHastings naive_reference_chain(*fixture.naive,
+                                                  &naive_reference_world,
+                                                  &naive_prop_b, kSeed);
+  naive_reference_chain.set_row_gibbs(false);
+  EXPECT_EQ(naive_fused_chain.Step(1000), naive_reference_chain.Step(1000));
+  for (size_t v = 0; v < naive_fused_world.size(); ++v) {
+    const auto var = static_cast<factor::VarId>(v);
+    ASSERT_EQ(naive_fused_world.Get(var), naive_reference_world.Get(var))
+        << "var " << v;
+  }
+}
+
+// Label-layout parity (PR 10): a world carrying the uint8 shadow lane and
+// a shadow-less world must walk identical trajectories — the shadow is a
+// write-through mirror, never a second source of truth. Also pins the
+// shared-vs-private hot block equivalence: a model that builds its own
+// block (TokenPdb without one) scores bitwise like one sharing the pdb's.
+TEST(CompiledScoringTest, HotBlockLayoutsWalkIdenticalTrajectories) {
+  const SyntheticCorpus corpus =
+      GenerateCorpus({.num_tokens = 900, .tokens_per_doc = 60, .seed = 53});
+  TokenPdb tokens = BuildTokenPdb(corpus);
+  SkipChainNerModel model(tokens);
+  model.InitializeFromCorpusStatistics(tokens);
+
+  factor::World shadowed = tokens.pdb->world();
+  ASSERT_TRUE(shadowed.has_label_shadow());
+  factor::World plain = tokens.pdb->world();
+  plain.DisableLabelShadow();
+  ASSERT_FALSE(plain.has_label_shadow());
+
+  DocumentBatchProposal proposal_a(&tokens.docs, {.proposals_per_batch = 200});
+  DocumentBatchProposal proposal_b(&tokens.docs, {.proposals_per_batch = 200});
+  infer::MetropolisHastings chain_a(model, &shadowed, &proposal_a, 99);
+  infer::MetropolisHastings chain_b(model, &plain, &proposal_b, 99);
+  EXPECT_EQ(chain_a.Step(5000), chain_b.Step(5000));
+  for (size_t v = 0; v < shadowed.size(); ++v) {
+    const auto var = static_cast<factor::VarId>(v);
+    ASSERT_EQ(shadowed.Get(var), plain.Get(var)) << "var " << v;
+  }
+  EXPECT_TRUE(shadowed.LabelShadowConsistent());
+
+  // Shared vs private hot block: strip the pdb-owned block from a second
+  // TokenPdb over the same corpus; the model then builds its own, which
+  // must be structurally identical and score bitwise the same.
+  TokenPdb tokens2 = BuildTokenPdb(corpus);
+  tokens2.hot.reset();
+  SkipChainNerModel private_model(tokens2);
+  private_model.InitializeFromCorpusStatistics(tokens2);
+  EXPECT_EQ(model.num_skip_edges(), private_model.num_skip_edges());
+  Rng rng(2718);
+  factor::World world(tokens.num_tokens());
+  factor::Change change;
+  for (int round = 0; round < 300; ++round) {
+    const auto var =
+        static_cast<factor::VarId>(rng.UniformInt(tokens.num_tokens()));
+    change.Clear();
+    change.Set(var, static_cast<uint32_t>(rng.UniformInt(kNumLabels)));
+    ASSERT_EQ(model.LogScoreDelta(world, change),
+              private_model.LogScoreDelta(world, change));
+    const auto span_a = model.SkipPartners(var);
+    const auto span_b = private_model.SkipPartners(var);
+    ASSERT_EQ(span_a.size(), span_b.size());
+    for (size_t i = 0; i < span_a.size(); ++i) {
+      ASSERT_EQ(span_a[i], span_b[i]);
+    }
+  }
+}
+
+// Prefetched propose (PR 10): DocumentBatchProposal with prefetch hints
+// enabled must draw the identical rng stream and produce the identical
+// trajectory — the hints peek only CLONED rngs. Covers the §5.1 kernel
+// path the step benches measure.
+TEST(CompiledScoringTest, PrefetchedProposeIsBitwiseInvisible) {
+  CompiledVsNaive fixture(700, 37);
+  const uint64_t kSeed = 456;
+
+  factor::World world_a = fixture.tokens.pdb->world();
+  factor::World world_b = fixture.tokens.pdb->world();
+  DocumentBatchProposal proposal_a(&fixture.tokens.docs,
+                                   {.proposals_per_batch = 150});
+  DocumentBatchProposal proposal_b(&fixture.tokens.docs,
+                                   {.proposals_per_batch = 150});
+  proposal_b.EnablePrefetch(fixture.compiled.get());
+  infer::MetropolisHastings chain_a(*fixture.compiled, &world_a, &proposal_a,
+                                    kSeed);
+  infer::MetropolisHastings chain_b(*fixture.compiled, &world_b, &proposal_b,
+                                    kSeed);
+  EXPECT_EQ(chain_a.Step(6000), chain_b.Step(6000));
+  EXPECT_EQ(chain_a.rng().Next(), chain_b.rng().Next());  // Streams aligned.
+  for (size_t v = 0; v < world_a.size(); ++v) {
+    const auto var = static_cast<factor::VarId>(v);
+    ASSERT_EQ(world_a.Get(var), world_b.Get(var)) << "var " << v;
+  }
+  EXPECT_TRUE(world_b.LabelShadowConsistent());
+}
+
 // End-to-end across the mirror boundary: Queries 1–4 evaluated on one
 // shared chain must answer bitwise-identically whether the accepted-jump
 // stream crosses into the DB mirror once per batch (default) or once per

@@ -329,6 +329,47 @@ TEST(ShardedInferenceTest, EntityResolutionFallsBackToSingleShard) {
                      serial_handle.Snapshot().answer, "ER fallback");
 }
 
+// Hot-block layout under sharding (PR 10): S = 4 shard chains advancing a
+// shadow-carrying world (the default BuildTokenPdb layout — write-through
+// label lane + shared TokenHotBlock) must answer the paper queries bitwise
+// like the same plan on a world with the shadow stripped, and like a fresh
+// shadowed re-run. The shadow writes land on shard-disjoint bytes, so the
+// threaded legs also exercise the race-freedom argument under TSan.
+TEST(ShardedInferenceTest, ShardedHotBlockLayoutBitwiseParity) {
+  auto run = [](bool strip_shadow) {
+    NerFixture fixture(480, 21);  // 8 documents.
+    if (strip_shadow) {
+      fixture.tokens.pdb->world().DisableLabelShadow();
+    }
+    EXPECT_EQ(fixture.tokens.pdb->world().has_label_shadow(), !strip_shadow);
+    auto session = api::Session::Open(
+        {.database = fixture.tokens.pdb.get(),
+         .shard_plan = fixture.MakePlan(4),
+         .evaluator = {.steps_per_sample = 400, .burn_in = 800, .seed = 77},
+         .policy = api::ExecutionPolicy::Sharded(4)});
+    EXPECT_EQ(session->num_shards(), 4u);
+    std::vector<api::ResultHandle> handles;
+    for (const char* query : PaperQueries()) {
+      handles.push_back(session->Register(query));
+    }
+    session->Run(20);
+    EXPECT_TRUE(fixture.tokens.pdb->world().LabelShadowConsistent());
+    std::vector<pdb::QueryAnswer> answers;
+    for (const api::ResultHandle& handle : handles) {
+      answers.push_back(handle.Snapshot().answer);
+    }
+    return answers;
+  };
+  const auto shadowed = run(/*strip_shadow=*/false);
+  const auto plain = run(/*strip_shadow=*/true);
+  const auto shadowed_again = run(/*strip_shadow=*/false);
+  ASSERT_EQ(shadowed.size(), PaperQueries().size());
+  for (size_t q = 0; q < shadowed.size(); ++q) {
+    ExpectBitwiseEqual(plain[q], shadowed[q], "shadow-off vs shadow-on");
+    ExpectBitwiseEqual(shadowed_again[q], shadowed[q], "shadowed re-run");
+  }
+}
+
 TEST(ShardedInferenceTest, ConcurrentShardSteppingIsRaceFree) {
   // The TSan exercise: 4 shard chains advance one world on pool threads
   // while views, the mirror, and convergence stats consume the merged

@@ -40,6 +40,19 @@ bench's exit code. Latency tails are noisy on shared runners, so the
 committed ratio is wide (5.0); workload shape (tenants/rounds) need not
 match the baseline since p99 is per-operation.
 
+Cache-layout (PR 10) mode:
+
+    check_step_regression.py --layout <benchmark_out.json> <BENCH_pr10.json>
+
+Gates the cache-resident step kernel: every BM_MhStep/<n> and
+BM_ConditionalRow/<n> real_time in the Google Benchmark JSON with a size
+present in layout_gate is checked against layout_gate.<family>[<n>] and
+fails when measured > baseline * max_regression_ratio * slack. This is
+the PR-7 gate's shape re-pinned on the SoA hot-block numbers: the raw
+200k step (where the layout win is largest) plus the vectorized
+conditional row that the fused row-Gibbs kernel samples from. It reuses
+the same benchmark artifact (step_phases.json) the PR-7 gate consumes.
+
 The committed baselines were measured on the dev VM; CI runners are at
 least as fast, and the gate ratio is deliberately generous (default 1.25)
 so only genuine regressions trip it. If a runner class is structurally
@@ -169,12 +182,55 @@ def check_serve(measured_path: str, baseline_path: str) -> int:
     return 0
 
 
+def check_layout(measured_path: str, baseline_path: str) -> int:
+    with open(measured_path) as f:
+        measured = json.load(f)
+    with open(baseline_path) as f:
+        gate = json.load(f)["layout_gate"]
+
+    limit_ratio = float(gate["max_regression_ratio"])
+    slack = float(os.environ.get("STEP_BENCH_SLACK", "1.0"))
+    families = ("BM_MhStep", "BM_ConditionalRow")
+
+    failures = []
+    checked = 0
+    for bench in measured.get("benchmarks", []):
+        name = bench.get("name", "")
+        for family in families:
+            if not name.startswith(family + "/"):
+                continue
+            size = name.split("/")[1]
+            baseline = gate.get(family, {})
+            if size not in baseline:
+                continue
+            checked += 1
+            ns = float(bench["real_time"])
+            limit = float(baseline[size]) * limit_ratio * slack
+            status = "OK" if ns <= limit else "REGRESSION"
+            print(f"{name}: {ns:.1f} ns (baseline {float(baseline[size]):.1f}, "
+                  f"limit {limit:.1f}) {status}")
+            if ns > limit:
+                failures.append(name)
+
+    if checked == 0:
+        print("error: no BM_MhStep/BM_ConditionalRow results matched "
+              "the layout gate")
+        return 1
+    if failures:
+        print(f"cache-resident layout regressed: {', '.join(failures)}")
+        return 1
+    print(f"cache-resident layout within budget ({checked} rows checked)")
+    return 0
+
+
 def main() -> int:
     args = sys.argv[1:]
     if len(args) == 3 and args[0] == "--sharded":
         return check_sharded(args[1], args[2])
     if len(args) == 3 and args[0] == "--serve":
         return check_serve(args[1], args[2])
+    if len(args) == 3 and args[0] == "--layout":
+        return check_layout(args[1], args[2])
     if len(args) == 2:
         return check_step_kernel(args[0], args[1])
     print(__doc__)
